@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive part — running every placer on every sb_mini design — is done
+once per pytest session and reused by the Table II / Table IV / Fig. 4 /
+Fig. 5 benchmarks.  Results (tables and machine-readable JSON) are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import pytest
+
+from repro.baselines import (
+    DifferentiableTDPBaseline,
+    DreamPlace4Baseline,
+    DreamPlaceBaseline,
+)
+from repro.benchgen import benchmark_names, load_benchmark
+from repro.core import EfficientTDPConfig, EfficientTDPlacer
+from repro.placement import PlacementConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# The designs every cross-method table uses (the full sb_mini suite).
+SUITE = benchmark_names()
+
+METHODS = ["DREAMPlace", "DREAMPlace 4.0", "Differentiable-TDP", "Efficient-TDP (ours)"]
+
+
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_json(name: str, payload) -> str:
+    path = os.path.join(results_dir(), name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
+
+
+def save_text(name: str, text: str) -> str:
+    path = os.path.join(results_dir(), name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def run_method(method: str, design_name: str):
+    """Run one placer flow on a freshly generated copy of ``design_name``."""
+    design = load_benchmark(design_name)
+    if method == "DREAMPlace":
+        flow = DreamPlaceBaseline(
+            design, PlacementConfig(max_iterations=450, seed=1), record_timing_every=15
+        )
+    elif method == "DREAMPlace 4.0":
+        flow = DreamPlace4Baseline(design)
+    elif method == "Differentiable-TDP":
+        flow = DifferentiableTDPBaseline(design)
+    elif method == "Efficient-TDP (ours)":
+        flow = EfficientTDPlacer(design, EfficientTDPConfig())
+    else:
+        raise ValueError(f"Unknown method {method!r}")
+    return flow.run()
+
+
+@pytest.fixture(scope="session")
+def suite_results() -> Dict[str, Dict[str, object]]:
+    """``results[design][method] -> flow result`` for the whole suite."""
+    results: Dict[str, Dict[str, object]] = {}
+    for design_name in SUITE:
+        results[design_name] = {}
+        for method in METHODS:
+            results[design_name][method] = run_method(method, design_name)
+    return results

@@ -1,0 +1,73 @@
+"""Fig. 5 — HPWL / overflow / TNS / WNS trajectories over placement iterations.
+
+Regenerates the paper's optimization-trajectory comparison for ``sb_mini_1``
+between DREAMPlace 4.0 and Efficient-TDP: per-iteration HPWL and density
+overflow from the placement history, and the TNS/WNS series recorded at every
+timing iteration (absolute values, as in the figure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_json, save_text
+from repro.evaluation import format_table
+
+
+def _series(result):
+    history = result.history
+    return {
+        "iterations": history.iterations,
+        "hpwl": history.hpwl,
+        "overflow": history.overflow,
+        "tns": history.extra.get("tns", []),
+        "wns": history.extra.get("wns", []),
+    }
+
+
+def test_fig5_trajectories(suite_results, benchmark):
+    design = "sb_mini_1"
+    dmp4 = suite_results[design]["DREAMPlace 4.0"]
+    ours = suite_results[design]["Efficient-TDP (ours)"]
+
+    series = benchmark.pedantic(
+        lambda: {"dreamplace4": _series(dmp4), "ours": _series(ours)},
+        rounds=1,
+        iterations=1,
+    )
+    save_json("fig5_trajectories.json", {"design": design, **series})
+
+    # Print a compact sampled view of the four sub-figures.
+    rows = []
+    ours_series = series["ours"]
+    dmp4_series = series["dreamplace4"]
+    stride = max(1, len(ours_series["iterations"]) // 12)
+    for idx in range(0, len(ours_series["iterations"]), stride):
+        iteration = ours_series["iterations"][idx]
+        row = [iteration, round(ours_series["hpwl"][idx], 0), round(ours_series["overflow"][idx], 3)]
+        if idx < len(dmp4_series["iterations"]):
+            row += [round(dmp4_series["hpwl"][idx], 0), round(dmp4_series["overflow"][idx], 3)]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    table = format_table(
+        ["iter", "ours HPWL", "ours overflow", "DMP4 HPWL", "DMP4 overflow"],
+        rows,
+        title=f"Fig. 5 — optimization trajectories for {design} (sampled)",
+    )
+    print("\n" + table)
+    save_text("fig5_trajectories.txt", table)
+
+    # Shape checks:
+    # 1. both flows record TNS/WNS trajectories once timing optimization starts;
+    assert len(series["ours"]["tns"]) >= 2
+    assert len(series["dreamplace4"]["tns"]) >= 2
+    # 2. the trajectories coincide before timing optimization starts (same
+    #    wirelength-driven prefix, same seed);
+    prefix = 50
+    assert series["ours"]["hpwl"][:prefix] == pytest.approx(
+        series["dreamplace4"]["hpwl"][:prefix], rel=1e-6
+    )
+    # 3. density overflow ultimately falls below the stop threshold + margin.
+    assert series["ours"]["overflow"][-1] <= 0.2
+    assert series["dreamplace4"]["overflow"][-1] <= 0.2

@@ -1,0 +1,88 @@
+"""Table I — timing statistics of the critical path extraction methods.
+
+Regenerates the paper's Table I on the synthetic suite: for a coarse
+(wirelength-driven) placement of ``sb_mini_1``, compare
+
+* ``report_timing(n)``            (OpenTimer-style, O(n^2)),
+* ``report_timing(n*10)``,
+* ``report_timing_endpoint(n,1)`` (proposed, O(n*k)),
+* ``report_timing_endpoint(n,10)``,
+
+where ``n`` is the number of failing endpoints, reporting number of paths,
+unique endpoints, unique pin pairs, and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_json, save_text
+from repro.baselines import DreamPlaceBaseline
+from repro.benchgen import load_benchmark
+from repro.evaluation import format_table
+from repro.placement import PlacementConfig
+from repro.timing import STAEngine, report_timing, report_timing_endpoint
+
+
+@pytest.fixture(scope="module")
+def coarse_placement_engine():
+    design = load_benchmark("sb_mini_1")
+    DreamPlaceBaseline(design, PlacementConfig(max_iterations=450, seed=1)).run()
+    engine = STAEngine(design)
+    engine.update_timing()
+    return engine
+
+
+def _collect_rows(engine):
+    result = engine.last_result
+    n = result.num_failing_endpoints
+    rows = []
+
+    def add(stats):
+        rows.append(stats.as_row())
+
+    # report_timing(n): per-endpoint enumeration capped to keep the O(n^2)
+    # variant tractable on the synthetic scale; coverage behaviour is what
+    # Table I demonstrates and is unaffected by the cap.
+    _, stats = report_timing(engine, n, failing_only=True, max_paths_per_endpoint=16)
+    add(stats)
+    _, stats = report_timing(engine, n * 10, failing_only=True, max_paths_per_endpoint=16)
+    add(stats)
+    _, stats = report_timing_endpoint(engine, n, 1, failing_only=True)
+    add(stats)
+    _, stats = report_timing_endpoint(engine, n, 10, failing_only=True)
+    add(stats)
+    return n, rows
+
+
+def test_table1_extraction_statistics(coarse_placement_engine, benchmark):
+    engine = coarse_placement_engine
+    n, rows = benchmark.pedantic(
+        lambda: _collect_rows(engine), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["Command", "Complexity", "#Paths", "#Endpoints", "#PinPairs", "Time(s)"],
+        [
+            [r["command"], r["complexity"], r["num_paths"], r["num_endpoints"],
+             r["num_pin_pairs"], r["time_sec"]]
+            for r in rows
+        ],
+        title=f"Table I — critical path extraction statistics (sb_mini_1, {n} failing endpoints)",
+        float_format="{:.4f}",
+    )
+    print("\n" + table)
+    save_text("table1_extraction.txt", table)
+    save_json("table1_extraction.json", {"failing_endpoints": n, "rows": rows})
+
+    rt_n, rt_10n, ep_1, ep_10 = rows
+    # The paper's qualitative claims:
+    # 1. endpoint extraction covers every failing endpoint,
+    assert ep_1["num_endpoints"] == n
+    # 2. report_timing concentrates on far fewer endpoints,
+    assert rt_n["num_endpoints"] <= ep_1["num_endpoints"]
+    # 3. endpoint extraction yields at least as many unique pin pairs,
+    assert ep_1["num_pin_pairs"] >= rt_n["num_pin_pairs"]
+    # 4. k=10 extracts more paths (and pairs) than k=1 at higher cost.
+    assert ep_10["num_paths"] >= ep_1["num_paths"]
+    assert ep_10["num_pin_pairs"] >= ep_1["num_pin_pairs"]

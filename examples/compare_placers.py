@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare all four placement flows on a chosen benchmark (Table II, one row).
+
+Runs DREAMPlace, DREAMPlace 4.0 (momentum net weighting), Differentiable-TDP
+(smoothed path-free attraction), and Efficient-TDP (ours) on one sb_mini
+design and prints their TNS / WNS / HPWL / runtime side by side.
+
+Run:  python examples/compare_placers.py [benchmark_name]
+"""
+
+import sys
+
+from repro.baselines import (
+    DifferentiableTDPBaseline,
+    DreamPlace4Baseline,
+    DreamPlaceBaseline,
+)
+from repro.benchgen import benchmark_names, load_benchmark
+from repro.core import EfficientTDPConfig, EfficientTDPlacer
+from repro.evaluation import format_table
+from repro.placement import PlacementConfig
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "sb_mini_1"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; choose from {benchmark_names()}")
+
+    flows = {
+        "DREAMPlace": lambda d: DreamPlaceBaseline(
+            d, PlacementConfig(max_iterations=450, seed=1)
+        ),
+        "DREAMPlace 4.0": lambda d: DreamPlace4Baseline(d),
+        "Differentiable-TDP": lambda d: DifferentiableTDPBaseline(d),
+        "Efficient-TDP (ours)": lambda d: EfficientTDPlacer(d, EfficientTDPConfig()),
+    }
+
+    rows = []
+    for method, make_flow in flows.items():
+        design = load_benchmark(name)
+        result = make_flow(design).run()
+        ev = result.evaluation
+        rows.append(
+            [method, round(ev.tns, 1), round(ev.wns, 1), round(ev.hpwl, 0),
+             round(result.runtime_seconds, 2)]
+        )
+
+    print(format_table(
+        ["Method", "TNS (ps)", "WNS (ps)", "HPWL", "Runtime (s)"],
+        rows,
+        title=f"Timing-driven placement comparison on {name}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

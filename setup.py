@@ -1,0 +1,4 @@
+"""Setuptools shim (the project metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Efficient-TDP: timing-driven global placement by efficient critical path
+extraction (reproduction of Shi et al., DATE 2025).
+
+The top-level package re-exports the most commonly used entry points; see
+the subpackages for the full API:
+
+* :mod:`repro.netlist` — circuit data model and file I/O.
+* :mod:`repro.timing` — static timing analysis and critical path reporting.
+* :mod:`repro.placement` — analytical global placement and legalization.
+* :mod:`repro.core` — the paper's pin-to-pin attraction flow.
+* :mod:`repro.baselines` — DREAMPlace / DREAMPlace 4.0 / Differentiable-TDP
+  style comparison flows.
+* :mod:`repro.benchgen` — synthetic ICCAD-2015-like benchmark generation.
+* :mod:`repro.evaluation` — shared HPWL/TNS/WNS scoring.
+"""
+
+from repro.benchgen import CircuitSpec, generate_circuit, load_benchmark, benchmark_names
+from repro.core import (
+    EfficientTDPConfig,
+    EfficientTDPlacer,
+    ExtractionConfig,
+    PinAttractionObjective,
+    PinPairSet,
+    QuadraticLoss,
+)
+from repro.evaluation import Evaluator, evaluate_placement
+from repro.netlist import Design, Library, make_generic_library
+from repro.placement import GlobalPlacer, PlacementConfig, AbacusLegalizer
+from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitSpec",
+    "generate_circuit",
+    "load_benchmark",
+    "benchmark_names",
+    "EfficientTDPConfig",
+    "EfficientTDPlacer",
+    "ExtractionConfig",
+    "PinAttractionObjective",
+    "PinPairSet",
+    "QuadraticLoss",
+    "Evaluator",
+    "evaluate_placement",
+    "Design",
+    "Library",
+    "make_generic_library",
+    "GlobalPlacer",
+    "PlacementConfig",
+    "AbacusLegalizer",
+    "STAEngine",
+    "TimingConstraints",
+    "report_timing",
+    "report_timing_endpoint",
+    "__version__",
+]

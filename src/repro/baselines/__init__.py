@@ -1,0 +1,28 @@
+"""Baseline placers used in the Table II / Table III comparisons.
+
+All baselines run on exactly the same substrate (placement engine, STA
+engine, legalizer, evaluator) as the proposed method, so differences in
+TNS/WNS/HPWL come from the timing-driven strategy alone:
+
+* :class:`DreamPlaceBaseline` — wirelength/density only (DREAMPlace).
+* :class:`DreamPlace4Baseline` — momentum-based net weighting
+  (DREAMPlace 4.0); also the "w/o Path Extraction" ablation arm.
+* :class:`DifferentiableTDPBaseline` — smoothed, pin-level path-free timing
+  attraction in the spirit of Guo & Lin's differentiable-timing objective.
+"""
+
+from repro.baselines.dreamplace import DreamPlaceBaseline, BaselineResult
+from repro.baselines.dreamplace4 import DreamPlace4Baseline, DreamPlace4Config
+from repro.baselines.differentiable_tdp import (
+    DifferentiableTDPBaseline,
+    DifferentiableTDPConfig,
+)
+
+__all__ = [
+    "BaselineResult",
+    "DreamPlaceBaseline",
+    "DreamPlace4Baseline",
+    "DreamPlace4Config",
+    "DifferentiableTDPBaseline",
+    "DifferentiableTDPConfig",
+]

@@ -1,0 +1,154 @@
+"""Differentiable-TDP-style baseline (Guo & Lin, DAC'22 spirit).
+
+Guo & Lin integrate a differentiable timing engine into DREAMPlace and
+back-propagate a smoothed TNS objective through every arc of the timing
+graph.  The key properties relative to the paper's method are that (a) all
+net arcs participate (paths are considered implicitly, no explicit
+extraction), and (b) the timing metric is smoothed, trading accuracy for
+differentiability.
+
+This baseline reproduces those two properties on the shared substrate: every
+``m`` iterations it refreshes STA and rebuilds a pin-pair attraction set over
+*all* net arcs, weighted by a smooth (sigmoid) criticality of the sink pin's
+slack, optimized with a linear Euclidean distance loss.  It is path-free and
+smooth — accurate enough to beat pure net weighting, but without the
+fine-grained path coverage of explicit extraction, which is where the
+proposed method gains.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.dreamplace import BaselineResult
+from repro.core.losses import LinearLoss
+from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
+from repro.evaluation.evaluator import Evaluator
+from repro.netlist.design import Design
+from repro.placement.global_placer import GlobalPlacer, PlacementConfig
+from repro.placement.legalization.abacus import AbacusLegalizer
+from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import STAEngine
+from repro.utils.profiling import RuntimeProfiler
+from repro.weighting.pin_weighting import smooth_pin_pair_weights
+
+
+@dataclass
+class DifferentiableTDPConfig:
+    """Schedule and smoothing knobs of the differentiable-TDP-style baseline."""
+
+    max_iterations: int = 450
+    timing_start_iteration: int = 150
+    min_timing_iterations: int = 120
+    stop_overflow: float = 0.08
+    target_density: float = 1.0
+    seed: int = 0
+    timing_update_interval: int = 15
+    temperature: float = 0.25
+    criticality_threshold: float = 0.05
+    attraction_ratio: float = 0.15
+    verbose: bool = False
+
+    def placement_config(self) -> PlacementConfig:
+        return PlacementConfig(
+            max_iterations=self.max_iterations,
+            min_iterations=self.timing_start_iteration + self.min_timing_iterations,
+            stop_overflow=self.stop_overflow,
+            target_density=self.target_density,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+
+
+class DifferentiableTDPBaseline:
+    """Smoothed, path-free timing attraction over all net arcs."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[DifferentiableTDPConfig] = None,
+        *,
+        constraints: Optional[TimingConstraints] = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else DifferentiableTDPConfig()
+        self.constraints = (
+            constraints if constraints is not None else TimingConstraints.from_design(design)
+        )
+        self.profiler = RuntimeProfiler()
+        with self.profiler.section("io"):
+            self.sta = STAEngine(design, self.constraints)
+        self.pairs = PinPairSet()
+        self.attraction = PinAttractionObjective(
+            design, self.pairs, loss=LinearLoss(), beta=1.0
+        )
+        self._calibrated = False
+
+    def _timing_callback(
+        self, placer: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
+    ) -> None:
+        cfg = self.config
+        if iteration < cfg.timing_start_iteration:
+            return
+        if (iteration - cfg.timing_start_iteration) % cfg.timing_update_interval != 0:
+            return
+        with self.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+        with self.profiler.section("weighting"):
+            weights = smooth_pin_pair_weights(
+                self.design,
+                self.sta.graph,
+                result,
+                temperature=cfg.temperature,
+                threshold=cfg.criticality_threshold,
+            )
+            self.pairs.set_weights(weights)
+            if not self._calibrated and weights:
+                # Per-pair vs per-cell force calibration, matching the scheme
+                # used by EfficientTDPlacer so the comparison is about *which*
+                # pins are attracted, not about force magnitudes.
+                wl = placer.wirelength.evaluate(x, y, net_weights=placer.net_weights)
+                wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
+                num_movable = max(int(self.design.arrays.movable_mask.sum()), 1)
+                pp_norm = self.attraction.gradient_norm(x, y)
+                num_pairs = max(len(self.pairs), 1)
+                if pp_norm > 1e-12 and wl_norm > 1e-12:
+                    self.attraction.weight = (
+                        cfg.attraction_ratio * (wl_norm / num_movable) / (pp_norm / num_pairs)
+                    )
+                    self._calibrated = True
+        placer.reset_optimizer_momentum()
+        placer.history.record_extra("tns", iteration, result.tns)
+        placer.history.record_extra("wns", iteration, result.wns)
+
+    def run(self) -> BaselineResult:
+        start = time.perf_counter()
+        placer = GlobalPlacer(
+            self.design, self.config.placement_config(), profiler=self.profiler
+        )
+        placer.add_objective_term(self.attraction)
+        placer.add_callback(self._timing_callback)
+        placement = placer.run()
+        x, y = placement.x, placement.y
+        with self.profiler.section("legalization"):
+            legal = AbacusLegalizer(self.design).legalize(x, y)
+            if not legal.success:
+                legal = GreedyLegalizer(self.design).legalize(x, y)
+            x, y = legal.x, legal.y
+            self.design.set_positions(x, y)
+        with self.profiler.section("io"):
+            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
+        return BaselineResult(
+            x=x,
+            y=y,
+            evaluation=evaluation,
+            placement=placement,
+            history=placement.history,
+            profiler=self.profiler,
+            runtime_seconds=time.perf_counter() - start,
+        )

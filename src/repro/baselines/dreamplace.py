@@ -1,0 +1,103 @@
+"""Wirelength-driven baseline (DREAMPlace without any timing feedback)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.evaluation.evaluator import EvaluationReport, Evaluator
+from repro.netlist.design import Design
+from repro.placement.global_placer import (
+    GlobalPlacer,
+    PlacementConfig,
+    PlacementHistory,
+    PlacementResult,
+)
+from repro.placement.legalization.abacus import AbacusLegalizer
+from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import STAEngine
+from repro.utils.profiling import RuntimeProfiler
+
+
+@dataclass
+class BaselineResult:
+    """Common result type for all baseline flows."""
+
+    x: np.ndarray
+    y: np.ndarray
+    evaluation: EvaluationReport
+    placement: PlacementResult
+    history: PlacementHistory
+    profiler: RuntimeProfiler
+    runtime_seconds: float
+
+    def summary(self) -> dict:
+        return {
+            "design": self.evaluation.design_name,
+            "hpwl": self.evaluation.hpwl,
+            "tns": self.evaluation.tns,
+            "wns": self.evaluation.wns,
+            "runtime_sec": round(self.runtime_seconds, 2),
+            "iterations": self.placement.iterations,
+        }
+
+
+class DreamPlaceBaseline:
+    """Plain wirelength + density global placement, then legalization."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[PlacementConfig] = None,
+        *,
+        constraints: Optional[TimingConstraints] = None,
+        record_timing_every: Optional[int] = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else PlacementConfig()
+        self.constraints = (
+            constraints if constraints is not None else TimingConstraints.from_design(design)
+        )
+        self.profiler = RuntimeProfiler()
+        self.record_timing_every = record_timing_every
+        self._sta: Optional[STAEngine] = None
+
+    def run(self) -> BaselineResult:
+        start = time.perf_counter()
+        placer = GlobalPlacer(self.design, self.config, profiler=self.profiler)
+        if self.record_timing_every:
+            self._sta = STAEngine(self.design, self.constraints)
+            interval = self.record_timing_every
+
+            def record(placer_obj: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray) -> None:
+                if iteration % interval != 0:
+                    return
+                result = self._sta.update_timing(x, y)
+                placer_obj.history.record_extra("tns", iteration, result.tns)
+                placer_obj.history.record_extra("wns", iteration, result.wns)
+
+            placer.add_callback(record)
+
+        placement = placer.run()
+        x, y = placement.x, placement.y
+        with self.profiler.section("legalization"):
+            legal = AbacusLegalizer(self.design).legalize(x, y)
+            if not legal.success:
+                legal = GreedyLegalizer(self.design).legalize(x, y)
+            x, y = legal.x, legal.y
+            self.design.set_positions(x, y)
+        with self.profiler.section("io"):
+            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
+        return BaselineResult(
+            x=x,
+            y=y,
+            evaluation=evaluation,
+            placement=placement,
+            history=placement.history,
+            profiler=self.profiler,
+            runtime_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,130 @@
+"""DREAMPlace 4.0-style baseline: momentum-based net weighting.
+
+Every ``m`` iterations after the timing-start iteration, the flow runs STA,
+derives each net's criticality from its worst pin slack, and updates the net
+weights with momentum (Eq. 5 of the paper; see
+:class:`repro.weighting.MomentumNetWeighting`).  The heavier nets then pull
+their cells together through the ordinary weighted-wirelength gradient.
+
+This class also serves as the paper's "w/o Path Extraction" ablation arm,
+which replaces path-level extraction with exactly this pin-level,
+momentum-weighted scheme.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.dreamplace import BaselineResult
+from repro.evaluation.evaluator import Evaluator
+from repro.netlist.design import Design
+from repro.placement.global_placer import GlobalPlacer, PlacementConfig
+from repro.placement.legalization.abacus import AbacusLegalizer
+from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import STAEngine
+from repro.utils.profiling import RuntimeProfiler
+from repro.weighting.net_weighting import MomentumNetWeighting
+
+
+@dataclass
+class DreamPlace4Config:
+    """Schedule and weighting knobs of the net-weighting baseline."""
+
+    max_iterations: int = 450
+    timing_start_iteration: int = 150
+    min_timing_iterations: int = 120
+    stop_overflow: float = 0.08
+    target_density: float = 1.0
+    seed: int = 0
+    timing_update_interval: int = 15
+    # The weighting aggressiveness is calibrated so the baseline lands in the
+    # operating envelope DREAMPlace 4.0 itself reports (~6% HPWL overhead on
+    # the contest designs).  Larger boosts trade HPWL for TNS aggressively on
+    # the small synthetic suite; see EXPERIMENTS.md for that sensitivity.
+    momentum_decay: float = 0.75
+    max_boost: float = 0.75
+    max_weight: float = 6.0
+    verbose: bool = False
+
+    def placement_config(self) -> PlacementConfig:
+        return PlacementConfig(
+            max_iterations=self.max_iterations,
+            min_iterations=self.timing_start_iteration + self.min_timing_iterations,
+            stop_overflow=self.stop_overflow,
+            target_density=self.target_density,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+
+
+class DreamPlace4Baseline:
+    """Timing-driven placement through momentum-guided net weighting."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[DreamPlace4Config] = None,
+        *,
+        constraints: Optional[TimingConstraints] = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else DreamPlace4Config()
+        self.constraints = (
+            constraints if constraints is not None else TimingConstraints.from_design(design)
+        )
+        self.profiler = RuntimeProfiler()
+        with self.profiler.section("io"):
+            self.sta = STAEngine(design, self.constraints)
+        self.weighting = MomentumNetWeighting(
+            decay=self.config.momentum_decay,
+            max_boost=self.config.max_boost,
+            max_weight=self.config.max_weight,
+        )
+
+    def _timing_callback(
+        self, placer: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
+    ) -> None:
+        cfg = self.config
+        if iteration < cfg.timing_start_iteration:
+            return
+        if (iteration - cfg.timing_start_iteration) % cfg.timing_update_interval != 0:
+            return
+        with self.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+        with self.profiler.section("weighting"):
+            new_weights = self.weighting.update(self.design, result, placer.net_weights)
+            placer.set_net_weights(new_weights)
+        placer.reset_optimizer_momentum()
+        placer.history.record_extra("tns", iteration, result.tns)
+        placer.history.record_extra("wns", iteration, result.wns)
+
+    def run(self) -> BaselineResult:
+        start = time.perf_counter()
+        placer = GlobalPlacer(
+            self.design, self.config.placement_config(), profiler=self.profiler
+        )
+        placer.add_callback(self._timing_callback)
+        placement = placer.run()
+        x, y = placement.x, placement.y
+        with self.profiler.section("legalization"):
+            legal = AbacusLegalizer(self.design).legalize(x, y)
+            if not legal.success:
+                legal = GreedyLegalizer(self.design).legalize(x, y)
+            x, y = legal.x, legal.y
+            self.design.set_positions(x, y)
+        with self.profiler.section("io"):
+            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
+        return BaselineResult(
+            x=x,
+            y=y,
+            evaluation=evaluation,
+            placement=placement,
+            history=placement.history,
+            profiler=self.profiler,
+            runtime_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,182 @@
+"""Pin-to-pin attraction: the maintained pair set P and the PP objective term.
+
+This module implements Sec. III-A and III-D of the paper:
+
+* :class:`PinPairSet` holds the set ``P`` of attracted pin pairs.  When the
+  flow traverses freshly extracted critical paths, each net-arc pin pair on a
+  path is added to ``P`` (weight ``w0``) or, if already present, its weight
+  is increased by ``w1 * (slack / WNS)`` — so pairs shared by several
+  critical paths accumulate weight (the path-sharing effect of Eq. 9).
+* :class:`PinAttractionObjective` turns the pair set into the ``beta * PP``
+  objective term of Eq. 6/10 with a pluggable distance loss (Eq. 8 for the
+  quadratic default), exposing value and per-instance gradients to the
+  placement engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design
+from repro.core.losses import PairLoss, QuadraticLoss
+from repro.timing.graph import TimingGraph
+from repro.timing.report import TimingPath
+
+
+class PinPairSet:
+    """The maintained set ``P`` of critical pin pairs with dynamic weights."""
+
+    def __init__(
+        self,
+        *,
+        w0: float = 10.0,
+        w1: float = 0.2,
+        max_weight: Optional[float] = None,
+    ) -> None:
+        self.w0 = float(w0)
+        self.w1 = float(w1)
+        self.max_weight = max_weight
+        self._weights: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        return pair in self._weights
+
+    def weight(self, pair: Tuple[int, int]) -> float:
+        return self._weights.get(pair, 0.0)
+
+    def items(self) -> Iterable[Tuple[Tuple[int, int], float]]:
+        return self._weights.items()
+
+    def clear(self) -> None:
+        self._weights.clear()
+
+    # ------------------------------------------------------------------
+    def update_from_paths(
+        self,
+        paths: Sequence[TimingPath],
+        graph: TimingGraph,
+        wns: float,
+    ) -> int:
+        """Apply the Eq. 9 update for every pin pair on every path.
+
+        Returns the number of *new* pairs added.  ``wns`` is the design's
+        worst negative slack at this timing iteration; paths with
+        non-negative slack are ignored (positive slacks are disregarded in
+        timing metrics, as the paper's Fig. 2 discussion stresses).
+        """
+        wns = min(wns, -1e-12)
+        added = 0
+        for path in paths:
+            slack = path.slack
+            if slack >= 0:
+                continue
+            share = slack / wns  # in (0, 1], 1 for the most critical path
+            for pair in path.pin_pairs(graph):
+                if pair not in self._weights:
+                    self._weights[pair] = self.w0
+                    added += 1
+                else:
+                    updated = self._weights[pair] + self.w1 * share
+                    if self.max_weight is not None:
+                        updated = min(updated, self.max_weight)
+                    self._weights[pair] = updated
+        return added
+
+    def set_weights(self, weights: Mapping[Tuple[int, int], float]) -> None:
+        """Replace the pair set wholesale (used by smoothed baselines)."""
+        self._weights = dict(weights)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(pin_i, pin_j, weight)`` arrays for vectorized evaluation."""
+        if not self._weights:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), np.zeros(0, dtype=np.float64)
+        pairs = np.array(list(self._weights.keys()), dtype=np.int64)
+        weights = np.array(list(self._weights.values()), dtype=np.float64)
+        return pairs[:, 0], pairs[:, 1], weights
+
+    def total_weight(self) -> float:
+        return float(sum(self._weights.values()))
+
+
+@dataclass
+class AttractionSnapshot:
+    """Diagnostics of one objective evaluation (used by tests/experiments)."""
+
+    value: float
+    num_pairs: int
+    total_weight: float
+
+
+class PinAttractionObjective:
+    """The ``beta * PP(x, y)`` objective term of Eq. 6/10.
+
+    Implements the :class:`repro.placement.objective.ObjectiveTerm` protocol:
+    ``weight`` is the paper's ``beta`` multiplier and ``evaluate`` returns the
+    raw PP value with per-instance gradients.  The pair set can be updated in
+    place between evaluations; an empty set contributes nothing.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        pairs: Optional[PinPairSet] = None,
+        *,
+        loss: Optional[PairLoss] = None,
+        beta: float = 2.5e-5,
+    ) -> None:
+        self.design = design
+        self.pairs = pairs if pairs is not None else PinPairSet()
+        self.loss = loss if loss is not None else QuadraticLoss()
+        self.weight = float(beta)
+        arrays = design.arrays
+        self._pin_instance = arrays.pin_instance
+        self._pin_offset_x = arrays.pin_offset_x
+        self._pin_offset_y = arrays.pin_offset_y
+        self._movable_mask = arrays.movable_mask
+        self._num_instances = arrays.num_instances
+        self.last_snapshot = AttractionSnapshot(0.0, 0, 0.0)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Raw PP value and its gradient with respect to instance positions."""
+        pin_i, pin_j, weights = self.pairs.as_arrays()
+        grad_x = np.zeros(self._num_instances, dtype=np.float64)
+        grad_y = np.zeros(self._num_instances, dtype=np.float64)
+        if pin_i.size == 0:
+            self.last_snapshot = AttractionSnapshot(0.0, 0, 0.0)
+            return 0.0, grad_x, grad_y
+
+        inst_i = self._pin_instance[pin_i]
+        inst_j = self._pin_instance[pin_j]
+        xi = x[inst_i] + self._pin_offset_x[pin_i]
+        yi = y[inst_i] + self._pin_offset_y[pin_i]
+        xj = x[inst_j] + self._pin_offset_x[pin_j]
+        yj = y[inst_j] + self._pin_offset_y[pin_j]
+
+        value, grad_dx, grad_dy = self.loss.evaluate(xi - xj, yi - yj, weights)
+
+        # d(loss)/d(x_i) = +grad_dx, d(loss)/d(x_j) = -grad_dx (pin offsets are
+        # rigid, so pin gradients transfer directly onto their instances).
+        np.add.at(grad_x, inst_i, grad_dx)
+        np.add.at(grad_x, inst_j, -grad_dx)
+        np.add.at(grad_y, inst_i, grad_dy)
+        np.add.at(grad_y, inst_j, -grad_dy)
+        grad_x[~self._movable_mask] = 0.0
+        grad_y[~self._movable_mask] = 0.0
+
+        self.last_snapshot = AttractionSnapshot(
+            value=value, num_pairs=int(pin_i.size), total_weight=float(weights.sum())
+        )
+        return value, grad_x, grad_y
+
+    def gradient_norm(self, x: np.ndarray, y: np.ndarray) -> float:
+        """L1 norm of the raw (unscaled) PP gradient; used for beta calibration."""
+        _, gx, gy = self.evaluate(x, y)
+        return float(np.abs(gx).sum() + np.abs(gy).sum())

@@ -1,0 +1,19 @@
+"""Placement evaluation (ICCAD-2015 evaluation-kit stand-in).
+
+Every placer in the comparison is scored with the same :class:`Evaluator`
+(same STA settings, same wirelength definition), mirroring how the paper
+evaluates all DEFs with the contest's official kit to keep the comparison
+fair.
+"""
+
+from repro.evaluation.evaluator import EvaluationReport, Evaluator, evaluate_placement
+from repro.evaluation.metrics import average_ratio, ratio_table, format_table
+
+__all__ = [
+    "EvaluationReport",
+    "Evaluator",
+    "evaluate_placement",
+    "average_ratio",
+    "ratio_table",
+    "format_table",
+]

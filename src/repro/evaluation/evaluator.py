@@ -1,0 +1,144 @@
+"""Uniform placement scoring: HPWL, TNS, WNS, legality checks.
+
+The evaluator plays the role of the ICCAD-2015 contest evaluation kit: every
+competing placement of the same design is scored with one STA configuration
+(same constraints, same wire RC, same Elmore model) so differences come from
+the placement alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.netlist.design import Design
+from repro.placement.wirelength import total_hpwl
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import STAEngine
+
+
+@dataclass
+class EvaluationReport:
+    """Scores of one placement."""
+
+    design_name: str
+    hpwl: float
+    tns: float
+    wns: float
+    num_failing_endpoints: int
+    num_endpoints: int
+    overlap_area: float
+    out_of_die_cells: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "design": self.design_name,
+            "hpwl": self.hpwl,
+            "tns": self.tns,
+            "wns": self.wns,
+            "failing_endpoints": self.num_failing_endpoints,
+            "endpoints": self.num_endpoints,
+            "overlap_area": self.overlap_area,
+            "out_of_die_cells": self.out_of_die_cells,
+        }
+
+
+class Evaluator:
+    """Score placements of one design with a fixed STA configuration."""
+
+    def __init__(
+        self,
+        design: Design,
+        constraints: Optional[TimingConstraints] = None,
+    ) -> None:
+        self.design = design
+        self.constraints = (
+            constraints if constraints is not None else TimingConstraints.from_design(design)
+        )
+        self._engine = STAEngine(design, self.constraints)
+
+    def evaluate(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> EvaluationReport:
+        """Evaluate positions ``(x, y)`` (design's stored positions if omitted)."""
+        design = self.design
+        if x is None or y is None:
+            x, y = design.positions()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+
+        hpwl = total_hpwl(design, x, y)
+        result = self._engine.update_timing(x, y)
+        overlap = _row_overlap_area(design, x, y)
+        outside = _out_of_die_count(design, x, y)
+        return EvaluationReport(
+            design_name=design.name,
+            hpwl=hpwl,
+            tns=result.tns,
+            wns=result.wns,
+            num_failing_endpoints=result.num_failing_endpoints,
+            num_endpoints=int(result.endpoint_pins.size),
+            overlap_area=overlap,
+            out_of_die_cells=outside,
+        )
+
+    @property
+    def engine(self) -> STAEngine:
+        """The underlying STA engine (shared with reporting utilities)."""
+        return self._engine
+
+
+def evaluate_placement(
+    design: Design,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+    *,
+    constraints: Optional[TimingConstraints] = None,
+) -> EvaluationReport:
+    """One-shot convenience wrapper around :class:`Evaluator`."""
+    return Evaluator(design, constraints).evaluate(x, y)
+
+
+def _row_overlap_area(design: Design, x: np.ndarray, y: np.ndarray) -> float:
+    """Total pairwise overlap area between movable cells sharing a row."""
+    arrays = design.arrays
+    movable = arrays.movable_index
+    if movable.size == 0:
+        return 0.0
+    overlap = 0.0
+    # Group by y coordinate (legal placements put cells exactly on rows).
+    ys = y[movable]
+    for row_y in np.unique(ys):
+        in_row = movable[ys == row_y]
+        if in_row.size < 2:
+            continue
+        order = in_row[np.argsort(x[in_row], kind="stable")]
+        right_edge = x[order] + arrays.inst_width[order]
+        gaps = x[order][1:] - right_edge[:-1]
+        heights = np.minimum(arrays.inst_height[order][1:], arrays.inst_height[order][:-1])
+        overlap += float(np.sum(np.maximum(-gaps, 0.0) * heights))
+    return overlap
+
+
+def _out_of_die_count(design: Design, x: np.ndarray, y: np.ndarray) -> int:
+    """Number of movable cells whose footprint leaves the die area."""
+    arrays = design.arrays
+    die = design.die
+    movable = arrays.movable_index
+    if movable.size == 0:
+        return 0
+    xl = x[movable]
+    yl = y[movable]
+    xh = xl + arrays.inst_width[movable]
+    yh = yl + arrays.inst_height[movable]
+    bad = (
+        (xl < die.xl - 1e-6)
+        | (yl < die.yl - 1e-6)
+        | (xh > die.xh + 1e-6)
+        | (yh > die.yh + 1e-6)
+    )
+    return int(np.sum(bad))

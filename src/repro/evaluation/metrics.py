@@ -1,0 +1,84 @@
+"""Cross-method metric aggregation (the paper's "Average Ratio" rows).
+
+Tables II-IV normalize every method's metric by the proposed method's value
+per design and report the geometric-mean-free simple average of those ratios.
+These helpers reproduce that bookkeeping and render aligned text tables for
+the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def ratio_table(
+    values: Mapping[str, Mapping[str, float]],
+    reference_method: str,
+) -> Dict[str, Dict[str, float]]:
+    """Per-design ratios of each method's value to the reference method's.
+
+    ``values[method][design]`` is the raw metric.  For metrics where "more
+    negative is worse" (TNS/WNS) the ratio of magnitudes is what the paper
+    reports, so callers should pass absolute values.
+    """
+    if reference_method not in values:
+        raise KeyError(f"Reference method {reference_method!r} missing from values")
+    reference = values[reference_method]
+    ratios: Dict[str, Dict[str, float]] = {}
+    for method, per_design in values.items():
+        ratios[method] = {}
+        for design, value in per_design.items():
+            ref = reference.get(design)
+            if ref is None:
+                continue
+            if abs(ref) < 1e-12:
+                # Reference is exactly zero: a ratio is meaningless; use 1 when
+                # the other method is also zero, else infinity.
+                ratios[method][design] = 1.0 if abs(value) < 1e-12 else float("inf")
+            else:
+                ratios[method][design] = value / ref
+    return ratios
+
+
+def average_ratio(
+    values: Mapping[str, Mapping[str, float]],
+    reference_method: str,
+) -> Dict[str, float]:
+    """Average of per-design ratios for each method (the table's last row)."""
+    ratios = ratio_table(values, reference_method)
+    averages: Dict[str, float] = {}
+    for method, per_design in ratios.items():
+        finite = [v for v in per_design.values() if v != float("inf")]
+        averages[method] = sum(finite) / len(finite) if finite else float("nan")
+    return averages
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned plain-text table (used by the benchmark harness)."""
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                formatted.append(float_format.format(value))
+            else:
+                formatted.append(str(value))
+        formatted_rows.append(formatted)
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

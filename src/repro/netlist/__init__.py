@@ -1,0 +1,38 @@
+"""Circuit data model and file I/O.
+
+Public API:
+
+* :class:`Library`, :class:`CellType`, :class:`LibraryPin`, :class:`PinDirection`,
+  :class:`TimingArcSpec` — standard-cell library model.
+* :class:`Design`, :class:`Instance`, :class:`Net`, :class:`PinRef`, :class:`Row` —
+  flat gate-level design with floorplan and placement state.
+* :func:`make_generic_library` — small generic library used by the synthetic
+  benchmarks and tests.
+* Parsers/writers for simplified LEF/DEF/Verilog/Liberty/SDC/Bookshelf views
+  live in :mod:`repro.netlist.parsers` and :mod:`repro.netlist.writers`.
+"""
+
+from repro.netlist.library import (
+    CellType,
+    Library,
+    LibraryPin,
+    PinDirection,
+    TimingArcSpec,
+    make_generic_library,
+)
+from repro.netlist.design import Design, DesignArrays, Instance, Net, PinRef, Row
+
+__all__ = [
+    "CellType",
+    "Library",
+    "LibraryPin",
+    "PinDirection",
+    "TimingArcSpec",
+    "make_generic_library",
+    "Design",
+    "DesignArrays",
+    "Instance",
+    "Net",
+    "PinRef",
+    "Row",
+]

@@ -1,0 +1,561 @@
+"""Flat gate-level design (netlist + floorplan + placement state).
+
+The :class:`Design` is the central data structure shared by every other
+subsystem:
+
+* the placement engine reads cell sizes and pin offsets as flat NumPy arrays
+  and writes cell locations back;
+* the STA engine walks instances, their library timing arcs, and the nets
+  connecting them to build the timing graph;
+* parsers/writers translate between on-disk formats and this model.
+
+A design is built incrementally (``add_instance`` / ``add_net`` / ``connect``)
+and then :meth:`Design.finalize` freezes it, validating connectivity and
+building the vectorized views.  Cell positions remain mutable after
+finalization (placement would be pointless otherwise) but the netlist
+topology does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.library import CellType, Library, LibraryPin, PinDirection
+from repro.utils.geometry import Rect
+
+# Cell masters used to model top-level IO ports as zero-area fixed instances.
+_PORT_INPUT = CellType("__PORT_IN__", width=0.0, height=0.0)
+_PORT_INPUT.add_pin(LibraryPin("o", PinDirection.OUTPUT, capacitance=0.0))
+_PORT_OUTPUT = CellType("__PORT_OUT__", width=0.0, height=0.0)
+_PORT_OUTPUT.add_pin(LibraryPin("i", PinDirection.INPUT, capacitance=0.01))
+
+
+class Instance:
+    """A placed occurrence of a library cell (or a top-level IO port)."""
+
+    __slots__ = ("name", "cell", "x", "y", "fixed", "orientation", "index", "is_port")
+
+    def __init__(
+        self,
+        name: str,
+        cell: CellType,
+        *,
+        x: float = 0.0,
+        y: float = 0.0,
+        fixed: bool = False,
+        orientation: str = "N",
+        is_port: bool = False,
+    ) -> None:
+        self.name = name
+        self.cell = cell
+        self.x = float(x)
+        self.y = float(y)
+        self.fixed = bool(fixed)
+        self.orientation = orientation
+        self.index = -1
+        self.is_port = is_port
+
+    @property
+    def width(self) -> float:
+        return self.cell.width
+
+    @property
+    def height(self) -> float:
+        return self.cell.height
+
+    @property
+    def area(self) -> float:
+        return self.cell.area
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.is_sequential
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + 0.5 * self.width, self.y + 0.5 * self.height)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "port" if self.is_port else self.cell.name
+        return f"Instance({self.name}, {kind}, x={self.x:.1f}, y={self.y:.1f})"
+
+
+class PinRef:
+    """One physical pin of one instance (or port), possibly connected to a net."""
+
+    __slots__ = ("index", "instance", "lib_pin", "net")
+
+    def __init__(self, instance: Instance, lib_pin: LibraryPin) -> None:
+        self.index = -1
+        self.instance = instance
+        self.lib_pin = lib_pin
+        self.net: Optional["Net"] = None
+
+    @property
+    def name(self) -> str:
+        return self.lib_pin.name
+
+    @property
+    def full_name(self) -> str:
+        if self.instance.is_port:
+            return self.instance.name
+        return f"{self.instance.name}/{self.lib_pin.name}"
+
+    @property
+    def direction(self) -> PinDirection:
+        return self.lib_pin.direction
+
+    @property
+    def is_driver(self) -> bool:
+        """True when this pin drives its net (cell output or input port)."""
+        return self.lib_pin.is_output
+
+    @property
+    def capacitance(self) -> float:
+        return self.lib_pin.capacitance
+
+    @property
+    def offset(self) -> Tuple[float, float]:
+        return (self.lib_pin.offset_x, self.lib_pin.offset_y)
+
+    def position(self) -> Tuple[float, float]:
+        """Current absolute location of the pin."""
+        return (
+            self.instance.x + self.lib_pin.offset_x,
+            self.instance.y + self.lib_pin.offset_y,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PinRef({self.full_name})"
+
+
+class Net:
+    """A signal net connecting one driver pin to zero or more sink pins."""
+
+    __slots__ = ("name", "index", "pins", "weight")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.index = -1
+        self.pins: List[PinRef] = []
+        self.weight = 1.0
+
+    @property
+    def driver(self) -> Optional[PinRef]:
+        for pin in self.pins:
+            if pin.is_driver:
+                return pin
+        return None
+
+    @property
+    def sinks(self) -> List[PinRef]:
+        return [p for p in self.pins if not p.is_driver]
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength of the net at current pin positions."""
+        if len(self.pins) < 2:
+            return 0.0
+        xs, ys = zip(*(p.position() for p in self.pins))
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.name}, degree={self.degree})"
+
+
+@dataclass(frozen=True)
+class Row:
+    """A placement row (used by row-based legalization)."""
+
+    index: int
+    y: float
+    xl: float
+    xh: float
+    height: float
+    site_width: float
+
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def num_sites(self) -> int:
+        return int(self.width // self.site_width)
+
+
+class DesignArrays:
+    """Vectorized, index-based view of a finalized design.
+
+    All arrays are ordered consistently with ``Design.instances`` /
+    ``Design.pins`` / ``Design.nets``.  ``net_pin_offsets``/``net_pin_index``
+    form a CSR layout: the pins of net ``e`` are
+    ``net_pin_index[net_pin_offsets[e]:net_pin_offsets[e+1]]``.
+    """
+
+    def __init__(self, design: "Design") -> None:
+        insts = design.instances
+        pins = design.pins
+        nets = design.nets
+
+        self.num_instances = len(insts)
+        self.num_pins = len(pins)
+        self.num_nets = len(nets)
+
+        self.inst_width = np.array([i.width for i in insts], dtype=np.float64)
+        self.inst_height = np.array([i.height for i in insts], dtype=np.float64)
+        self.inst_fixed = np.array([i.fixed for i in insts], dtype=bool)
+        self.inst_area = self.inst_width * self.inst_height
+
+        self.pin_instance = np.array([p.instance.index for p in pins], dtype=np.int64)
+        self.pin_offset_x = np.array([p.lib_pin.offset_x for p in pins], dtype=np.float64)
+        self.pin_offset_y = np.array([p.lib_pin.offset_y for p in pins], dtype=np.float64)
+        self.pin_net = np.array(
+            [p.net.index if p.net is not None else -1 for p in pins], dtype=np.int64
+        )
+        self.pin_capacitance = np.array([p.capacitance for p in pins], dtype=np.float64)
+        self.pin_is_driver = np.array([p.is_driver for p in pins], dtype=bool)
+
+        offsets = np.zeros(self.num_nets + 1, dtype=np.int64)
+        for net in nets:
+            offsets[net.index + 1] = len(net.pins)
+        np.cumsum(offsets, out=offsets)
+        index = np.zeros(offsets[-1], dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for net in nets:
+            for pin in net.pins:
+                index[cursor[net.index]] = pin.index
+                cursor[net.index] += 1
+        self.net_pin_offsets = offsets
+        self.net_pin_index = index
+        self.net_weight = np.array([n.weight for n in nets], dtype=np.float64)
+
+        self.movable_mask = ~self.inst_fixed
+        self.movable_index = np.nonzero(self.movable_mask)[0]
+
+    def net_pins(self, net_index: int) -> np.ndarray:
+        start = self.net_pin_offsets[net_index]
+        end = self.net_pin_offsets[net_index + 1]
+        return self.net_pin_index[start:end]
+
+
+class Design:
+    """A gate-level design: floorplan, instances, nets, and connectivity."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        die: Rect | Tuple[float, float, float, float],
+        library: Library,
+        row_height: float = 12.0,
+        site_width: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.die = die if isinstance(die, Rect) else Rect(*die)
+        self.library = library
+        self.row_height = float(row_height)
+        self.site_width = float(site_width)
+
+        self.instances: List[Instance] = []
+        self.nets: List[Net] = []
+        self.pins: List[PinRef] = []
+
+        self._instance_by_name: Dict[str, Instance] = {}
+        self._net_by_name: Dict[str, Net] = {}
+        self._pins_by_instance: Dict[str, Dict[str, PinRef]] = {}
+        self._finalized = False
+        self._arrays: Optional[DesignArrays] = None
+
+        # Timing constraints are attached by the SDC parser / benchmark
+        # generator; kept here so a design file is self-contained.
+        self.clock_period: Optional[float] = None
+        self.clock_name: str = "clk"
+        self.clock_port: Optional[str] = None
+        self.input_delays: Dict[str, float] = {}
+        self.output_delays: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check_mutable(self) -> None:
+        if self._finalized:
+            raise RuntimeError("Design topology is frozen after finalize()")
+
+    def add_instance(
+        self,
+        name: str,
+        cell: CellType | str,
+        *,
+        x: float = 0.0,
+        y: float = 0.0,
+        fixed: bool = False,
+        orientation: str = "N",
+    ) -> Instance:
+        """Create an instance of ``cell`` named ``name``."""
+        self._check_mutable()
+        if name in self._instance_by_name:
+            raise ValueError(f"Duplicate instance name {name!r}")
+        master = self.library.cell(cell) if isinstance(cell, str) else cell
+        inst = Instance(name, master, x=x, y=y, fixed=fixed, orientation=orientation)
+        self._register_instance(inst)
+        return inst
+
+    def add_port(
+        self,
+        name: str,
+        direction: PinDirection | str,
+        *,
+        x: float = 0.0,
+        y: float = 0.0,
+    ) -> Instance:
+        """Create a top-level IO port, modeled as a fixed zero-area instance."""
+        self._check_mutable()
+        if name in self._instance_by_name:
+            raise ValueError(f"Duplicate instance/port name {name!r}")
+        direction = (
+            direction
+            if isinstance(direction, PinDirection)
+            else PinDirection.from_string(direction)
+        )
+        # From the netlist's point of view an *input* port drives a net, so
+        # its single pin is an output pin (and vice versa).
+        master = _PORT_INPUT if direction is PinDirection.INPUT else _PORT_OUTPUT
+        inst = Instance(name, master, x=x, y=y, fixed=True, is_port=True)
+        self._register_instance(inst)
+        return inst
+
+    def _register_instance(self, inst: Instance) -> None:
+        inst.index = len(self.instances)
+        self.instances.append(inst)
+        self._instance_by_name[inst.name] = inst
+        pin_map: Dict[str, PinRef] = {}
+        for lib_pin in inst.cell.pins.values():
+            pin = PinRef(inst, lib_pin)
+            pin.index = len(self.pins)
+            self.pins.append(pin)
+            pin_map[lib_pin.name] = pin
+        self._pins_by_instance[inst.name] = pin_map
+
+    def add_net(self, name: str) -> Net:
+        self._check_mutable()
+        if name in self._net_by_name:
+            raise ValueError(f"Duplicate net name {name!r}")
+        net = Net(name)
+        net.index = len(self.nets)
+        self.nets.append(net)
+        self._net_by_name[name] = net
+        return net
+
+    def connect(self, net: Net | str, instance: Instance | str, pin_name: str | None = None) -> PinRef:
+        """Attach ``instance``'s pin ``pin_name`` to ``net``.
+
+        For ports (single-pin instances) ``pin_name`` may be omitted.
+        """
+        self._check_mutable()
+        net_obj = self._net_by_name[net] if isinstance(net, str) else net
+        inst_obj = (
+            self._instance_by_name[instance] if isinstance(instance, str) else instance
+        )
+        pin_map = self._pins_by_instance[inst_obj.name]
+        if pin_name is None:
+            if len(pin_map) != 1:
+                raise ValueError(
+                    f"pin_name required for multi-pin instance {inst_obj.name}"
+                )
+            pin = next(iter(pin_map.values()))
+        else:
+            try:
+                pin = pin_map[pin_name]
+            except KeyError as exc:
+                raise KeyError(
+                    f"Instance {inst_obj.name} ({inst_obj.cell.name}) has no pin {pin_name!r}"
+                ) from exc
+        if pin.net is not None:
+            raise ValueError(f"Pin {pin.full_name} is already connected to {pin.net.name}")
+        pin.net = net_obj
+        net_obj.pins.append(pin)
+        return pin
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instance_by_name[name]
+        except KeyError as exc:
+            raise KeyError(f"Design {self.name} has no instance {name!r}") from exc
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._net_by_name[name]
+        except KeyError as exc:
+            raise KeyError(f"Design {self.name} has no net {name!r}") from exc
+
+    def pin(self, instance_name: str, pin_name: str | None = None) -> PinRef:
+        """Look up a pin by ``inst`` + ``pin`` names or by ``"inst/pin"``."""
+        if pin_name is None:
+            if "/" in instance_name:
+                instance_name, pin_name = instance_name.rsplit("/", 1)
+            else:
+                pin_map = self._pins_by_instance[instance_name]
+                if len(pin_map) != 1:
+                    raise ValueError(f"Ambiguous pin reference {instance_name!r}")
+                return next(iter(pin_map.values()))
+        return self._pins_by_instance[instance_name][pin_name]
+
+    def has_instance(self, name: str) -> bool:
+        return name in self._instance_by_name
+
+    def has_net(self, name: str) -> bool:
+        return name in self._net_by_name
+
+    @property
+    def ports(self) -> List[Instance]:
+        return [i for i in self.instances if i.is_port]
+
+    @property
+    def cells(self) -> List[Instance]:
+        """All non-port instances."""
+        return [i for i in self.instances if not i.is_port]
+
+    @property
+    def movable_instances(self) -> List[Instance]:
+        return [i for i in self.instances if not i.fixed]
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def num_movable(self) -> int:
+        return sum(1 for i in self.instances if not i.fixed)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pins)
+
+    # ------------------------------------------------------------------
+    # Finalization and vectorized views
+    # ------------------------------------------------------------------
+    def finalize(self) -> "Design":
+        """Validate connectivity and freeze the netlist topology."""
+        if self._finalized:
+            return self
+        for net in self.nets:
+            drivers = [p for p in net.pins if p.is_driver]
+            if len(drivers) > 1:
+                names = ", ".join(p.full_name for p in drivers)
+                raise ValueError(f"Net {net.name} has multiple drivers: {names}")
+        self._finalized = True
+        self._arrays = DesignArrays(self)
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def arrays(self) -> DesignArrays:
+        if not self._finalized or self._arrays is None:
+            raise RuntimeError("Design must be finalized before accessing arrays")
+        return self._arrays
+
+    def positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return instance lower-left coordinates as two float arrays."""
+        x = np.array([i.x for i in self.instances], dtype=np.float64)
+        y = np.array([i.y for i in self.instances], dtype=np.float64)
+        return x, y
+
+    def set_positions(self, x: Sequence[float], y: Sequence[float]) -> None:
+        """Write instance positions back from flat arrays (fixed cells kept)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != (len(self.instances),) or y.shape != (len(self.instances),):
+            raise ValueError("Position arrays must have one entry per instance")
+        for inst, xi, yi in zip(self.instances, x, y):
+            if not inst.fixed:
+                inst.x = float(xi)
+                inst.y = float(yi)
+
+    def pin_positions(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Absolute pin coordinates for instance positions ``(x, y)``.
+
+        When ``x``/``y`` are omitted the instances' stored positions are used.
+        """
+        arrays = self.arrays
+        if x is None or y is None:
+            x, y = self.positions()
+        px = x[arrays.pin_instance] + arrays.pin_offset_x
+        py = y[arrays.pin_instance] + arrays.pin_offset_y
+        return px, py
+
+    # ------------------------------------------------------------------
+    # Floorplan helpers
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Row]:
+        """Placement rows filling the die from bottom to top."""
+        rows: List[Row] = []
+        y = self.die.yl
+        index = 0
+        while y + self.row_height <= self.die.yh + 1e-9:
+            rows.append(
+                Row(
+                    index=index,
+                    y=y,
+                    xl=self.die.xl,
+                    xh=self.die.xh,
+                    height=self.row_height,
+                    site_width=self.site_width,
+                )
+            )
+            y += self.row_height
+            index += 1
+        return rows
+
+    def utilization(self) -> float:
+        """Total movable + fixed cell area divided by die area."""
+        total_area = sum(i.area for i in self.instances if not i.is_port)
+        return total_area / self.die.area if self.die.area > 0 else 0.0
+
+    def total_hpwl(self) -> float:
+        """Half-perimeter wirelength summed over all nets at current positions."""
+        return sum(net.hpwl() for net in self.nets)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Compact description used in logs and experiment reports."""
+        return {
+            "name": self.name,
+            "num_instances": self.num_instances,
+            "num_cells": len(self.cells),
+            "num_ports": len(self.ports),
+            "num_nets": self.num_nets,
+            "num_pins": self.num_pins,
+            "num_sequential": sum(1 for i in self.cells if i.is_sequential),
+            "die_width": self.die.width,
+            "die_height": self.die.height,
+            "utilization": round(self.utilization(), 4),
+            "clock_period": self.clock_period,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Design({self.name}, cells={len(self.cells)}, nets={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )

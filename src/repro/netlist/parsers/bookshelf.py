@@ -1,0 +1,85 @@
+"""Bookshelf placement format helpers (.nodes / .pl).
+
+The Bookshelf format is used by many academic placement benchmarks.  Only the
+two files relevant to exchanging placements are supported:
+
+* ``.nodes`` — node name, width, height, optional ``terminal`` keyword.
+* ``.pl`` — node name, x, y, ``: N`` orientation, optional ``/FIXED``.
+
+These are primarily useful for exporting a placement produced by this
+library to external visualization or evaluation scripts, and for loading
+externally produced placements back onto a :class:`repro.netlist.Design`
+(matching by instance name) via :func:`apply_bookshelf_pl`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.design import Design
+
+
+def parse_bookshelf_nodes(text: str) -> List[Tuple[str, float, float, bool]]:
+    """Parse ``.nodes`` text into ``(name, width, height, is_terminal)`` rows."""
+    rows: List[Tuple[str, float, float, bool]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or line.startswith("UCLA") or ":" in line:
+            continue
+        tokens = line.split()
+        if len(tokens) < 3:
+            continue
+        name = tokens[0]
+        try:
+            width = float(tokens[1])
+            height = float(tokens[2])
+        except ValueError:
+            continue
+        is_terminal = len(tokens) > 3 and tokens[3].lower().startswith("terminal")
+        rows.append((name, width, height, is_terminal))
+    return rows
+
+
+def parse_bookshelf_pl(text: str) -> Dict[str, Tuple[float, float, bool]]:
+    """Parse ``.pl`` text into ``{name: (x, y, fixed)}``."""
+    placements: Dict[str, Tuple[float, float, bool]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or line.startswith("UCLA"):
+            continue
+        tokens = line.split()
+        if len(tokens) < 3:
+            continue
+        name = tokens[0]
+        try:
+            x = float(tokens[1])
+            y = float(tokens[2])
+        except ValueError:
+            continue
+        fixed = "/FIXED" in line.upper()
+        placements[name] = (x, y, fixed)
+    return placements
+
+
+def parse_bookshelf_pl_file(path: str) -> Dict[str, Tuple[float, float, bool]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_bookshelf_pl(handle.read())
+
+
+def apply_bookshelf_pl(design: Design, placements: Dict[str, Tuple[float, float, bool]]) -> int:
+    """Apply a parsed ``.pl`` placement onto ``design`` by instance name.
+
+    Returns the number of instances whose position was updated.  Fixed
+    instances and names absent from the design are skipped.
+    """
+    applied = 0
+    for name, (x, y, _fixed) in placements.items():
+        if not design.has_instance(name):
+            continue
+        inst = design.instance(name)
+        if inst.fixed:
+            continue
+        inst.x = x
+        inst.y = y
+        applied += 1
+    return applied

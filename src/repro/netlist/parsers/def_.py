@@ -1,0 +1,165 @@
+"""Simplified DEF (Design Exchange Format) parser.
+
+Supported subset (matching :func:`repro.netlist.writers.write_def`)::
+
+    VERSION 5.8 ;
+    DESIGN <name> ;
+    UNITS DISTANCE MICRONS 1000 ;
+    DIEAREA ( xl yl ) ( xh yh ) ;
+    ROW <name> <site> x y N DO n BY 1 STEP sw 0 ;
+    COMPONENTS n ;
+      - <inst> <cell> + PLACED ( x y ) N ;
+      - <inst> <cell> + FIXED ( x y ) N ;
+    END COMPONENTS
+    PINS n ;
+      - <port> + NET <net> + DIRECTION INPUT|OUTPUT + PLACED ( x y ) N ;
+    END PINS
+    NETS n ;
+      - <net> ( <inst> <pin> ) ( PIN <port> ) ... ;
+    END NETS
+    END DESIGN
+
+The parser needs a :class:`Library` that declares every referenced cell.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.netlist.design import Design
+from repro.netlist.library import Library, PinDirection
+from repro.utils.geometry import Rect
+
+
+def parse_def_file(path: str, library: Library) -> Design:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_def(handle.read(), library)
+
+
+def parse_def(text: str, library: Library) -> Design:
+    """Parse DEF text into a finalized :class:`Design`."""
+    statements = _split_statements(text)
+    name = "design"
+    die: Optional[Rect] = None
+    row_height = 12.0
+    site_width = 1.0
+    components: List[Tuple[str, str, float, float, bool]] = []
+    pins: List[Tuple[str, str, str, float, float]] = []
+    nets: List[Tuple[str, List[Tuple[str, Optional[str]]]]] = []
+
+    section: Optional[str] = None
+    for stmt in statements:
+        tokens = stmt.split()
+        if not tokens:
+            continue
+        head = tokens[0].upper()
+        if head == "DESIGN" and len(tokens) >= 2 and section is None:
+            name = tokens[1]
+        elif head == "DIEAREA":
+            coords = _extract_numbers(stmt)
+            if len(coords) >= 4:
+                die = Rect(coords[0], coords[1], coords[2], coords[3])
+        elif head == "ROW":
+            numbers = _extract_numbers(stmt)
+            # ROW name site x y orient DO n BY 1 STEP sw sh
+            if len(numbers) >= 2:
+                row_height_candidate = None
+                if "STEP" in stmt.upper():
+                    step_numbers = numbers[-2:]
+                    if step_numbers[0] > 0:
+                        site_width = step_numbers[0]
+                if row_height_candidate:
+                    row_height = row_height_candidate
+        elif head == "COMPONENTS":
+            section = "COMPONENTS"
+        elif head == "PINS":
+            section = "PINS"
+        elif head == "NETS":
+            section = "NETS"
+        elif head == "END":
+            if len(tokens) >= 2 and tokens[1].upper() in {"COMPONENTS", "PINS", "NETS", "DESIGN"}:
+                section = None
+        elif head == "-" or stmt.startswith("-"):
+            body = stmt[1:].strip()
+            if section == "COMPONENTS":
+                components.append(_parse_component(body))
+            elif section == "PINS":
+                pins.append(_parse_pin(body))
+            elif section == "NETS":
+                nets.append(_parse_net(body))
+
+    if die is None:
+        die = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+    # Derive the row height from the library's tallest core cell when rows
+    # were not explicit; keeps legalization consistent with the masters.
+    core_heights = [c.height for c in library if c.height > 0]
+    if core_heights:
+        row_height = max(set(core_heights), key=core_heights.count)
+
+    design = Design(name, die=die, library=library, row_height=row_height, site_width=site_width)
+    for inst_name, cell_name, x, y, fixed in components:
+        design.add_instance(inst_name, cell_name, x=x, y=y, fixed=fixed)
+    for port_name, _net_name, direction, x, y in pins:
+        design.add_port(port_name, direction, x=x, y=y)
+    for net_name, connections in nets:
+        net = design.add_net(net_name)
+        for inst_name, pin_name in connections:
+            design.connect(net, inst_name, pin_name)
+    return design.finalize()
+
+
+def _split_statements(text: str) -> List[str]:
+    # DEF statements terminate with ';'. Remove comments first.  Section
+    # terminators ("END COMPONENTS" etc.) carry no semicolon in DEF, so give
+    # them one to keep the statement split uniform.
+    text = re.sub(r"#[^\n]*", " ", text)
+    text = re.sub(r"\bEND\s+(COMPONENTS|PINS|NETS|DESIGN)\b", r" ; END \1 ; ", text)
+    parts = [p.strip() for p in text.split(";")]
+    return [p for p in parts if p]
+
+
+def _extract_numbers(stmt: str) -> List[float]:
+    return [float(v) for v in re.findall(r"-?\d+\.?\d*", stmt)]
+
+
+def _parse_component(body: str) -> Tuple[str, str, float, float, bool]:
+    tokens = body.replace("(", " ").replace(")", " ").split()
+    inst_name, cell_name = tokens[0], tokens[1]
+    fixed = "FIXED" in (t.upper() for t in tokens)
+    # The location is the "( x y )" group; instance/cell names may themselves
+    # contain digits, so only numbers inside the parentheses count.
+    location = re.search(r"\(\s*(-?\d+\.?\d*)\s+(-?\d+\.?\d*)\s*\)", body)
+    x, y = (float(location.group(1)), float(location.group(2))) if location else (0.0, 0.0)
+    return inst_name, cell_name, x, y, fixed
+
+
+def _parse_pin(body: str) -> Tuple[str, str, str, float, float]:
+    tokens = body.replace("(", " ").replace(")", " ").split()
+    port_name = tokens[0]
+    net_name = port_name
+    direction = "input"
+    upper = [t.upper() for t in tokens]
+    if "NET" in upper:
+        net_name = tokens[upper.index("NET") + 1]
+    if "DIRECTION" in upper:
+        direction = tokens[upper.index("DIRECTION") + 1].lower()
+    numbers = _extract_numbers(body)
+    x, y = (numbers[-2], numbers[-1]) if len(numbers) >= 2 else (0.0, 0.0)
+    return port_name, net_name, direction, x, y
+
+
+def _parse_net(body: str) -> Tuple[str, List[Tuple[str, Optional[str]]]]:
+    tokens = body.split()
+    net_name = tokens[0]
+    connections: List[Tuple[str, Optional[str]]] = []
+    for group in re.findall(r"\(([^)]*)\)", body):
+        parts = group.split()
+        if not parts:
+            continue
+        if parts[0].upper() == "PIN":
+            connections.append((parts[1], None))
+        elif len(parts) >= 2:
+            connections.append((parts[0], parts[1]))
+    return net_name, connections

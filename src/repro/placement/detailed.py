@@ -1,0 +1,83 @@
+"""Simple detailed placement: within-row adjacent-cell swapping.
+
+After legalization, neighbouring cells in the same row are swapped whenever
+the swap reduces total HPWL of the nets touching them.  This is a small
+local-search refinement comparable in spirit (not in strength) to the
+independent-set matching used by industrial flows; the paper's evaluation is
+about global placement, so detailed placement is deliberately lightweight and
+optional.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design
+from repro.placement.wirelength import hpwl_per_net
+
+
+class DetailedPlacer:
+    """Greedy adjacent-swap refinement on a legalized placement."""
+
+    def __init__(self, design: Design, *, max_passes: int = 2) -> None:
+        self.design = design
+        self.max_passes = max_passes
+
+    def refine(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Return refined positions and the number of accepted swaps."""
+        design = self.design
+        arrays = design.arrays
+        if x is None or y is None:
+            x, y = design.positions()
+        x = np.asarray(x, dtype=np.float64).copy()
+        y = np.asarray(y, dtype=np.float64).copy()
+
+        # Nets touching each instance, for incremental HPWL evaluation.
+        nets_of_instance: Dict[int, List[int]] = defaultdict(list)
+        for pin_idx in range(arrays.num_pins):
+            inst = int(arrays.pin_instance[pin_idx])
+            net = int(arrays.pin_net[pin_idx])
+            if net >= 0:
+                nets_of_instance[inst].append(net)
+
+        movable = set(int(i) for i in arrays.movable_index)
+        accepted = 0
+        for _ in range(self.max_passes):
+            improved_this_pass = 0
+            # Group movable cells by row (y coordinate).
+            rows: Dict[float, List[int]] = defaultdict(list)
+            for inst in movable:
+                rows[float(y[inst])].append(inst)
+            for row_cells in rows.values():
+                row_cells.sort(key=lambda i: x[i])
+                for left, right in zip(row_cells, row_cells[1:]):
+                    nets = list(set(nets_of_instance[left] + nets_of_instance[right]))
+                    if not nets:
+                        continue
+                    before = self._nets_hpwl(nets, x, y)
+                    new_x = x.copy()
+                    # Swap: right cell takes left's slot, left goes after it.
+                    new_x[right] = x[left]
+                    new_x[left] = x[left] + arrays.inst_width[right]
+                    after = self._nets_hpwl(nets, new_x, y)
+                    if after + 1e-9 < before:
+                        x = new_x
+                        accepted += 1
+                        improved_this_pass += 1
+            if improved_this_pass == 0:
+                break
+        return x, y, accepted
+
+    def _nets_hpwl(self, nets: List[int], x: np.ndarray, y: np.ndarray) -> float:
+        per_net = hpwl_per_net(self.design, x, y)
+        return float(per_net[nets].sum())
+
+    def apply(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.design.set_positions(x, y)

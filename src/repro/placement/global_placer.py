@@ -1,0 +1,281 @@
+"""Nonlinear global placement engine (DREAMPlace-style).
+
+The engine minimizes
+
+    sum_e w_e * WL_e(x, y)  +  lambda * D(x, y)  +  sum_t beta_t * T_t(x, y)
+
+where ``WL`` is the weighted-average smoothed wirelength, ``D`` the
+electrostatic density penalty, and ``T_t`` optional extra terms (the paper's
+pin-to-pin attraction, Eq. 6).  Net weights ``w_e`` default to one and are
+adjusted by net-weighting timing-driven flows (Eq. 5).
+
+A flow hooks into the engine through per-iteration callbacks; this is how the
+timing-driven placers run STA every ``m`` iterations, update net weights or
+pin-pair weights, and record TNS/WNS trajectories (Fig. 5) without the engine
+knowing anything about timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design
+from repro.placement.density import ElectrostaticDensity
+from repro.placement.initial import clamp_to_die, initial_placement
+from repro.placement.nesterov import NesterovOptimizer
+from repro.placement.objective import ObjectiveTerm, PlacementObjective
+from repro.placement.wirelength import WeightedAverageWirelength, total_hpwl
+from repro.utils.logging import get_logger
+from repro.utils.profiling import RuntimeProfiler
+
+logger = get_logger("placement.global")
+
+IterationCallback = Callable[["GlobalPlacer", int, np.ndarray, np.ndarray], None]
+
+
+@dataclass
+class PlacementConfig:
+    """Tunable knobs of the global placement engine."""
+
+    max_iterations: int = 600
+    min_iterations: int = 50
+    stop_overflow: float = 0.08
+    target_density: float = 1.0
+    num_bins_x: Optional[int] = None
+    num_bins_y: Optional[int] = None
+    # Density multiplier schedule (the paper adopts DREAMPlace's rule).
+    density_weight_init_ratio: float = 1.0e-3
+    density_weight_growth: float = 1.05
+    density_weight_max: float = 1.0e3
+    # Wirelength smoothing schedule.
+    gamma_base_bins: float = 4.0
+    seed: int = 0
+    verbose: bool = False
+    log_every: int = 50
+
+
+@dataclass
+class PlacementHistory:
+    """Per-iteration metrics recorded during a run (drives Fig. 5)."""
+
+    iterations: List[int] = field(default_factory=list)
+    hpwl: List[float] = field(default_factory=list)
+    overflow: List[float] = field(default_factory=list)
+    objective: List[float] = field(default_factory=list)
+    density_weight: List[float] = field(default_factory=list)
+    extra: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def record_extra(self, name: str, iteration: int, value: float) -> None:
+        self.extra.setdefault(name, []).append((iteration, value))
+
+
+@dataclass
+class PlacementResult:
+    """Final global-placement solution and run statistics."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hpwl: float
+    overflow: float
+    iterations: int
+    converged: bool
+    history: PlacementHistory
+
+
+class GlobalPlacer:
+    """Analytical global placer with pluggable extra objective terms."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[PlacementConfig] = None,
+        *,
+        profiler: Optional[RuntimeProfiler] = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else PlacementConfig()
+        self.profiler = profiler if profiler is not None else RuntimeProfiler()
+        arrays = design.arrays
+
+        self.wirelength = WeightedAverageWirelength(design)
+        self.density = ElectrostaticDensity(
+            design,
+            num_bins_x=self.config.num_bins_x,
+            num_bins_y=self.config.num_bins_y,
+            target_density=self.config.target_density,
+        )
+        self.objective = PlacementObjective()
+        self.net_weights = np.ones(arrays.num_nets, dtype=np.float64)
+        self.callbacks: List[IterationCallback] = []
+        self.history = PlacementHistory()
+
+        # Preconditioner: pins per instance + density_weight * area.
+        self._pins_per_instance = np.bincount(
+            arrays.pin_instance, minlength=arrays.num_instances
+        ).astype(np.float64)
+        self._inst_area = arrays.inst_area
+        self._movable_mask = arrays.movable_mask
+
+        self.density_weight = 0.0
+        self._gamma_bin = max(self.density.bin_w, self.density.bin_h)
+        self._last_overflow = 1.0
+        self._optimizer: Optional[NesterovOptimizer] = None
+
+    # ------------------------------------------------------------------
+    # Flow hooks
+    # ------------------------------------------------------------------
+    def add_objective_term(self, term: ObjectiveTerm) -> None:
+        """Add an extra differentiable term (e.g. pin-to-pin attraction)."""
+        self.objective.add_term(term)
+
+    def add_callback(self, callback: IterationCallback) -> None:
+        """Register a per-iteration hook ``callback(placer, iteration, x, y)``."""
+        self.callbacks.append(callback)
+
+    def set_net_weights(self, weights: np.ndarray) -> None:
+        """Replace the per-net wirelength weights (net-weighting TDP flows)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != self.net_weights.shape:
+            raise ValueError("net weight array has the wrong length")
+        self.net_weights = weights
+
+    def reset_optimizer_momentum(self) -> None:
+        """Restart Nesterov momentum (call after changing the objective).
+
+        Timing-driven flows change the objective every timing iteration (new
+        net weights or new pin pairs); carrying momentum accumulated under the
+        old objective across such a change can destabilize the optimizer.
+        """
+        if self._optimizer is not None:
+            self._optimizer.reset_momentum()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _update_gamma(self, overflow: float) -> None:
+        gamma = self._gamma_bin * self.config.gamma_base_bins * (0.1 + overflow)
+        self.wirelength.set_gamma(max(gamma, 1e-3))
+
+    def _gradient(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        with self.profiler.section("gradient"):
+            wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
+            dens = self.density.evaluate(x, y)
+            _, extra_gx, extra_gy = self.objective.evaluate_extra(
+                x, y, self.design.arrays.num_instances
+            )
+            grad_x = wl.grad_x + self.density_weight * dens.grad_x + extra_gx
+            grad_y = wl.grad_y + self.density_weight * dens.grad_y + extra_gy
+            precond = np.maximum(
+                self._pins_per_instance + self.density_weight * self._inst_area, 1.0
+            )
+            grad_x = grad_x / precond
+            grad_y = grad_y / precond
+            grad_x[~self._movable_mask] = 0.0
+            grad_y[~self._movable_mask] = 0.0
+        self._last_density_result = dens
+        return grad_x, grad_y
+
+    def _initial_density_weight(self, x: np.ndarray, y: np.ndarray) -> float:
+        wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
+        dens = self.density.evaluate(x, y)
+        wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
+        dens_norm = float(np.abs(dens.grad_x).sum() + np.abs(dens.grad_y).sum())
+        if dens_norm <= 1e-12:
+            return self.config.density_weight_init_ratio
+        return self.config.density_weight_init_ratio * wl_norm / dens_norm
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x0: Optional[np.ndarray] = None,
+        y0: Optional[np.ndarray] = None,
+    ) -> PlacementResult:
+        """Run global placement and return the (unlegalized) solution.
+
+        The design's stored positions are updated to the final solution.
+        """
+        config = self.config
+        design = self.design
+        if x0 is None or y0 is None:
+            x0, y0 = initial_placement(design, seed=config.seed)
+        x, y = clamp_to_die(design, np.asarray(x0, float), np.asarray(y0, float))
+
+        self._update_gamma(1.0)
+        self.density_weight = self._initial_density_weight(x, y)
+
+        die = design.die
+        min_step = 0.01 * design.site_width
+        max_step = 0.05 * max(die.width, die.height)
+        optimizer = NesterovOptimizer(
+            x,
+            y,
+            movable_mask=self._movable_mask,
+            min_step=min_step,
+            max_step=max_step,
+        )
+        self._optimizer = optimizer
+
+        overflow = 1.0
+        hpwl = total_hpwl(design, x, y)
+        converged = False
+        iteration = 0
+        for iteration in range(1, config.max_iterations + 1):
+            x, y = optimizer.step_once(self._gradient)
+            x, y = clamp_to_die(design, x, y)
+            optimizer.state.major_x = x
+            optimizer.state.major_y = y
+
+            dens = self._last_density_result
+            overflow = dens.overflow
+            self._update_gamma(overflow)
+            # Grow the density multiplier only while the spreading target has
+            # not been met.  Once the target is reached the multiplier is
+            # frozen so flows that keep iterating (timing optimization) can
+            # refine wirelength/timing without the density term eventually
+            # dominating; if timing forces re-cluster cells and overflow rises
+            # above the target again, growth resumes automatically.
+            if overflow > config.stop_overflow:
+                self.density_weight = min(
+                    self.density_weight * config.density_weight_growth,
+                    config.density_weight_max,
+                )
+
+            with self.profiler.section("others"):
+                hpwl = total_hpwl(design, x, y)
+                self.history.iterations.append(iteration)
+                self.history.hpwl.append(hpwl)
+                self.history.overflow.append(overflow)
+                self.history.density_weight.append(self.density_weight)
+                self.history.objective.append(hpwl)
+
+            for callback in self.callbacks:
+                callback(self, iteration, x, y)
+
+            if config.verbose and iteration % config.log_every == 0:
+                logger.info(
+                    "iter %4d  hpwl %.4e  overflow %.3f  lambda %.3e",
+                    iteration,
+                    hpwl,
+                    overflow,
+                    self.density_weight,
+                )
+
+            if iteration >= config.min_iterations and overflow <= config.stop_overflow:
+                converged = True
+                break
+
+        design.set_positions(x, y)
+        return PlacementResult(
+            x=x,
+            y=y,
+            hpwl=hpwl,
+            overflow=overflow,
+            iterations=iteration,
+            converged=converged,
+            history=self.history,
+        )

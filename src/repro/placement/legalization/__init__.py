@@ -1,0 +1,6 @@
+"""Row-based legalization algorithms (Abacus and a greedy Tetris-style fallback)."""
+
+from repro.placement.legalization.abacus import AbacusLegalizer
+from repro.placement.legalization.greedy import GreedyLegalizer
+
+__all__ = ["AbacusLegalizer", "GreedyLegalizer"]

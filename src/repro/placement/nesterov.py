@@ -1,0 +1,131 @@
+"""Nesterov accelerated gradient optimizer with Barzilai-Borwein step sizes.
+
+This is the optimizer used by ePlace/DREAMPlace for nonlinear global
+placement: Nesterov's accelerated gradient method where the step size is
+estimated each iteration from the displacement/gradient-change inner products
+(the BB method), clamped to a sane range derived from the die dimensions.
+The optimizer is agnostic of the objective; the placer supplies a gradient
+callback and applies its own preconditioning before calling :meth:`step`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+GradientFn = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class OptimizerState:
+    """Internal state carried across iterations."""
+
+    major_x: np.ndarray
+    major_y: np.ndarray
+    reference_x: np.ndarray
+    reference_y: np.ndarray
+    prev_grad_x: Optional[np.ndarray] = None
+    prev_grad_y: Optional[np.ndarray] = None
+    prev_x: Optional[np.ndarray] = None
+    prev_y: Optional[np.ndarray] = None
+    momentum: float = 1.0
+
+
+class NesterovOptimizer:
+    """Nesterov's method with BB step estimation for placement coordinates."""
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        y0: np.ndarray,
+        *,
+        movable_mask: np.ndarray,
+        min_step: float,
+        max_step: float,
+        initial_step: Optional[float] = None,
+    ) -> None:
+        if min_step <= 0 or max_step <= 0 or max_step < min_step:
+            raise ValueError("Step bounds must satisfy 0 < min_step <= max_step")
+        self.movable_mask = movable_mask
+        self.min_step = float(min_step)
+        self.max_step = float(max_step)
+        self.step = float(initial_step) if initial_step is not None else float(
+            np.sqrt(min_step * max_step)
+        )
+        self.state = OptimizerState(
+            major_x=x0.copy(),
+            major_y=y0.copy(),
+            reference_x=x0.copy(),
+            reference_y=y0.copy(),
+        )
+        self.iteration = 0
+
+    # ------------------------------------------------------------------
+    def _bb_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        grad_x: np.ndarray,
+        grad_y: np.ndarray,
+    ) -> float:
+        """Barzilai-Borwein step-size estimate, clamped to the allowed range."""
+        state = self.state
+        if state.prev_grad_x is None or state.prev_x is None:
+            return self.step
+        dx = np.concatenate([x - state.prev_x, y - state.prev_y])
+        dg = np.concatenate([grad_x - state.prev_grad_x, grad_y - state.prev_grad_y])
+        dg_dot = float(np.dot(dg, dg))
+        if dg_dot <= 1e-30:
+            return self.step
+        step = abs(float(np.dot(dx, dg))) / dg_dot
+        return float(np.clip(step, self.min_step, self.max_step))
+
+    def step_once(
+        self,
+        grad_fn: GradientFn,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Perform one Nesterov update; returns the new major solution."""
+        state = self.state
+        mask = self.movable_mask
+
+        grad_x, grad_y = grad_fn(state.reference_x, state.reference_y)
+        self.step = self._bb_step(state.reference_x, state.reference_y, grad_x, grad_y)
+
+        new_major_x = state.reference_x.copy()
+        new_major_y = state.reference_y.copy()
+        new_major_x[mask] -= self.step * grad_x[mask]
+        new_major_y[mask] -= self.step * grad_y[mask]
+
+        # Nesterov momentum coefficient sequence a_{k+1} = (1+sqrt(4a_k^2+1))/2.
+        next_momentum = 0.5 * (1.0 + np.sqrt(4.0 * state.momentum**2 + 1.0))
+        beta = (state.momentum - 1.0) / next_momentum
+
+        new_reference_x = new_major_x.copy()
+        new_reference_y = new_major_y.copy()
+        new_reference_x[mask] += beta * (new_major_x[mask] - state.major_x[mask])
+        new_reference_y[mask] += beta * (new_major_y[mask] - state.major_y[mask])
+
+        state.prev_x = state.reference_x
+        state.prev_y = state.reference_y
+        state.prev_grad_x = grad_x
+        state.prev_grad_y = grad_y
+        state.major_x = new_major_x
+        state.major_y = new_major_y
+        state.reference_x = new_reference_x
+        state.reference_y = new_reference_y
+        state.momentum = next_momentum
+        self.iteration += 1
+        return new_major_x, new_major_y
+
+    def reset_momentum(self) -> None:
+        """Restart momentum (used when the objective changes, e.g. when the
+        timing term switches on or the density multiplier jumps)."""
+        self.state.momentum = 1.0
+        self.state.reference_x = self.state.major_x.copy()
+        self.state.reference_y = self.state.major_y.copy()
+
+    @property
+    def solution(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.state.major_x, self.state.major_y

@@ -1,0 +1,179 @@
+"""Wirelength models: exact HPWL and the weighted-average (WA) smooth model.
+
+The WA model (Hsu, Chang, Balabanov, DAC'11) approximates the max/min of the
+pin coordinates of a net with log-sum-exp-style weighted averages controlled
+by a smoothing parameter ``gamma``; it is the wirelength model used by
+DREAMPlace and therefore by every placer in this library.  Values and
+gradients are computed for all nets at once from the design's CSR
+net-to-pin arrays, then pin gradients are accumulated onto instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design
+
+
+def hpwl_per_net(
+    design: Design,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Exact half-perimeter wirelength of every net (zeros for degenerate nets)."""
+    arrays = design.arrays
+    pin_x, pin_y = design.pin_positions(x, y)
+    num_nets = arrays.num_nets
+    result = np.zeros(num_nets, dtype=np.float64)
+    offsets = arrays.net_pin_offsets
+    csr = arrays.net_pin_index
+    counts = np.diff(offsets)
+    valid = counts >= 2
+    if not np.any(valid):
+        return result
+    # reduceat needs non-empty segments; operate on valid nets only.
+    valid_ids = np.nonzero(valid)[0]
+    starts = offsets[:-1][valid_ids]
+    # Build segment boundaries for reduceat over the concatenated valid pins.
+    xmax = np.maximum.reduceat(pin_x[csr], starts)
+    xmin = np.minimum.reduceat(pin_x[csr], starts)
+    ymax = np.maximum.reduceat(pin_y[csr], starts)
+    ymin = np.minimum.reduceat(pin_y[csr], starts)
+    # reduceat with ``starts`` reduces from each start to the next start (or
+    # the end), which may span nets when invalid nets sit between valid ones.
+    # That only happens for nets with <2 pins, which contribute their single
+    # pin; including it in the neighbouring segment would corrupt the result,
+    # so recompute those rare cases exactly.
+    spans = np.append(starts[1:], csr.size) - starts
+    clean = spans == counts[valid_ids]
+    result[valid_ids[clean]] = (xmax - xmin + ymax - ymin)[clean]
+    for net_id in valid_ids[~clean]:
+        pins = arrays.net_pins(net_id)
+        px = pin_x[pins]
+        py = pin_y[pins]
+        result[net_id] = (px.max() - px.min()) + (py.max() - py.min())
+    return result
+
+
+def total_hpwl(
+    design: Design,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+    *,
+    net_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Total (optionally net-weighted) HPWL of the design."""
+    per_net = hpwl_per_net(design, x, y)
+    if net_weights is not None:
+        per_net = per_net * net_weights
+    return float(per_net.sum())
+
+
+@dataclass
+class WirelengthResult:
+    """Value and per-instance gradient of the smooth wirelength."""
+
+    value: float
+    grad_x: np.ndarray
+    grad_y: np.ndarray
+
+
+class WeightedAverageWirelength:
+    """Weighted-average smoothed wirelength with analytic gradients.
+
+    ``gamma`` controls smoothness: smaller values track HPWL more closely but
+    yield stiffer gradients.  DREAMPlace anneals gamma with overflow; the
+    :class:`repro.placement.global_placer.GlobalPlacer` does the same through
+    :meth:`set_gamma`.
+    """
+
+    def __init__(self, design: Design, *, gamma: float = 5.0) -> None:
+        self.design = design
+        arrays = design.arrays
+        self.gamma = float(gamma)
+        counts = np.diff(arrays.net_pin_offsets)
+        # Only nets with at least two pins contribute wirelength.
+        self._valid_nets = np.nonzero(counts >= 2)[0]
+        valid_mask = np.isin(
+            np.repeat(np.arange(arrays.num_nets), counts), self._valid_nets
+        )
+        self._csr_pins = arrays.net_pin_index[valid_mask]
+        self._csr_net = np.repeat(np.arange(arrays.num_nets), counts)[valid_mask]
+        self._pin_instance = arrays.pin_instance
+        self._num_nets = arrays.num_nets
+        self._num_instances = arrays.num_instances
+        self._movable_mask = arrays.movable_mask
+
+    def set_gamma(self, gamma: float) -> None:
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        net_weights: Optional[np.ndarray] = None,
+    ) -> WirelengthResult:
+        """Smoothed wirelength and its gradient w.r.t. instance positions."""
+        design = self.design
+        pin_x, pin_y = design.pin_positions(x, y)
+        weights = (
+            np.ones(self._num_nets, dtype=np.float64)
+            if net_weights is None
+            else np.asarray(net_weights, dtype=np.float64)
+        )
+
+        value_x, pin_grad_x = self._directional(pin_x, weights)
+        value_y, pin_grad_y = self._directional(pin_y, weights)
+
+        grad_x = np.zeros(self._num_instances, dtype=np.float64)
+        grad_y = np.zeros(self._num_instances, dtype=np.float64)
+        np.add.at(grad_x, self._pin_instance[self._csr_pins], pin_grad_x)
+        np.add.at(grad_y, self._pin_instance[self._csr_pins], pin_grad_y)
+        grad_x[~self._movable_mask] = 0.0
+        grad_y[~self._movable_mask] = 0.0
+        return WirelengthResult(value=value_x + value_y, grad_x=grad_x, grad_y=grad_y)
+
+    def _directional(
+        self, coord: np.ndarray, net_weights: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """WA wirelength and per-CSR-pin gradient along one axis."""
+        gamma = self.gamma
+        pins = self._csr_pins
+        nets = self._csr_net
+        num_nets = self._num_nets
+        c = coord[pins]
+
+        # Stabilize exponentials per net.
+        cmax = np.full(num_nets, -np.inf)
+        cmin = np.full(num_nets, np.inf)
+        np.maximum.at(cmax, nets, c)
+        np.minimum.at(cmin, nets, c)
+        exp_pos = np.exp((c - cmax[nets]) / gamma)
+        exp_neg = np.exp((cmin[nets] - c) / gamma)
+
+        sum_pos = np.bincount(nets, weights=exp_pos, minlength=num_nets)
+        sum_neg = np.bincount(nets, weights=exp_neg, minlength=num_nets)
+        sum_cpos = np.bincount(nets, weights=c * exp_pos, minlength=num_nets)
+        sum_cneg = np.bincount(nets, weights=c * exp_neg, minlength=num_nets)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            wa_max = np.where(sum_pos > 0, sum_cpos / np.maximum(sum_pos, 1e-300), 0.0)
+            wa_min = np.where(sum_neg > 0, sum_cneg / np.maximum(sum_neg, 1e-300), 0.0)
+        per_net = wa_max - wa_min
+        value = float(np.sum(per_net * net_weights))
+
+        # Gradient of the WA max/min estimators w.r.t. each pin coordinate.
+        sp = sum_pos[nets]
+        sn = sum_neg[nets]
+        scp = sum_cpos[nets]
+        scn = sum_cneg[nets]
+        grad_max = exp_pos * ((1.0 + c / gamma) * sp - scp / gamma) / np.maximum(sp * sp, 1e-300)
+        grad_min = exp_neg * ((1.0 - c / gamma) * sn + scn / gamma) / np.maximum(sn * sn, 1e-300)
+        pin_grad = (grad_max - grad_min) * net_weights[nets]
+        return value, pin_grad

@@ -1,0 +1,54 @@
+"""Timing constraints consumed by the STA engine.
+
+The constraints mirror the subset of SDC the library parses: one ideal clock,
+per-port input/output delays, and a global flip-flop setup time.  They can be
+constructed directly, converted from a parsed
+:class:`repro.netlist.parsers.sdc.SDCConstraints`, or pulled from the fields a
+:class:`repro.netlist.Design` carries after ``apply_sdc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netlist.design import Design
+
+
+@dataclass
+class TimingConstraints:
+    """Constraints for one analysis corner."""
+
+    clock_period: float = 1000.0
+    clock_name: str = "clk"
+    clock_port: Optional[str] = None
+    setup_time: float = 20.0
+    input_delays: Dict[str, float] = field(default_factory=dict)
+    output_delays: Dict[str, float] = field(default_factory=dict)
+    default_input_delay: float = 0.0
+    default_output_delay: float = 0.0
+
+    @classmethod
+    def from_design(cls, design: Design, *, setup_time: float = 20.0) -> "TimingConstraints":
+        """Build constraints from the SDC-derived fields stored on a design."""
+        period = design.clock_period if design.clock_period is not None else 1000.0
+        return cls(
+            clock_period=period,
+            clock_name=design.clock_name,
+            clock_port=design.clock_port,
+            setup_time=setup_time,
+            input_delays=dict(design.input_delays),
+            output_delays=dict(design.output_delays),
+        )
+
+    def input_delay(self, port_name: str) -> float:
+        return self.input_delays.get(port_name, self.default_input_delay)
+
+    def output_delay(self, port_name: str) -> float:
+        return self.output_delays.get(port_name, self.default_output_delay)
+
+    def validate(self) -> None:
+        if self.clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        if self.setup_time < 0:
+            raise ValueError("setup_time cannot be negative")

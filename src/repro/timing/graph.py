@@ -1,0 +1,237 @@
+"""Pin-level timing graph.
+
+The graph follows the standard STA formulation the paper relies on
+(Sec. II-B): nodes are design pins, directed edges ("timing arcs") are either
+
+* **net arcs** — from a net's driver pin to each of its sink pins, whose delay
+  is the Elmore wire delay and therefore depends on the placement, or
+* **cell arcs** — from an input pin to an output pin of the same instance,
+  whose delay follows the library characterization and the driven load.
+
+Clock distribution is treated as ideal: nets feeding flip-flop clock pins are
+excluded from the data graph and every clock pin gets arrival time zero, so
+register-to-register paths start at clock-to-q arcs and end at D pins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design, PinRef
+from repro.netlist.library import TimingArcSpec
+
+
+class ArcKind(enum.IntEnum):
+    """Type of a timing arc."""
+
+    CELL = 0
+    NET = 1
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One timing arc (edge) of the graph."""
+
+    index: int
+    from_pin: int
+    to_pin: int
+    kind: ArcKind
+    net_index: int = -1
+    spec: Optional[TimingArcSpec] = None
+
+    @property
+    def is_net_arc(self) -> bool:
+        return self.kind is ArcKind.NET
+
+
+class TimingGraph:
+    """Levelized timing DAG over the pins of a finalized design."""
+
+    def __init__(self, design: Design) -> None:
+        if not design.finalized:
+            raise ValueError("TimingGraph requires a finalized design")
+        self.design = design
+        self.num_pins = design.num_pins
+
+        self.clock_nets: Set[int] = self._identify_clock_nets()
+        self.arcs: List[Arc] = []
+        self._build_arcs()
+
+        # Flat arrays for vectorized delay evaluation / propagation.
+        self.arc_from = np.array([a.from_pin for a in self.arcs], dtype=np.int64)
+        self.arc_to = np.array([a.to_pin for a in self.arcs], dtype=np.int64)
+        self.arc_kind = np.array([int(a.kind) for a in self.arcs], dtype=np.int8)
+        self.arc_net = np.array([a.net_index for a in self.arcs], dtype=np.int64)
+
+        self._build_adjacency()
+        self.level = self._levelize()
+        self.max_level = int(self.level.max()) if self.num_pins else 0
+
+        self.startpoints = self._find_startpoints()
+        self.endpoints = self._find_endpoints()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _identify_clock_nets(self) -> Set[int]:
+        design = self.design
+        clock_nets: Set[int] = set()
+        for net in design.nets:
+            if any(p.lib_pin.is_clock for p in net.sinks):
+                clock_nets.add(net.index)
+                continue
+            driver = net.driver
+            if (
+                driver is not None
+                and driver.instance.is_port
+                and design.clock_port is not None
+                and driver.instance.name == design.clock_port
+            ):
+                clock_nets.add(net.index)
+        return clock_nets
+
+    def _build_arcs(self) -> None:
+        design = self.design
+        # Net arcs (excluding clock nets).
+        for net in design.nets:
+            if net.index in self.clock_nets:
+                continue
+            driver = net.driver
+            if driver is None:
+                continue
+            for sink in net.sinks:
+                self.arcs.append(
+                    Arc(
+                        index=len(self.arcs),
+                        from_pin=driver.index,
+                        to_pin=sink.index,
+                        kind=ArcKind.NET,
+                        net_index=net.index,
+                    )
+                )
+        # Cell arcs.  Group pins by owning instance in a single pass first so
+        # arc construction stays linear in design size.
+        pins_by_instance: Dict[str, Dict[str, PinRef]] = {}
+        for pin in design.pins:
+            pins_by_instance.setdefault(pin.instance.name, {})[pin.lib_pin.name] = pin
+        for inst in design.instances:
+            if inst.is_port:
+                continue
+            pin_map = pins_by_instance.get(inst.name, {})
+            for spec in inst.cell.arcs:
+                from_pin = pin_map.get(spec.from_pin)
+                to_pin = pin_map.get(spec.to_pin)
+                if from_pin is None or to_pin is None:
+                    continue
+                self.arcs.append(
+                    Arc(
+                        index=len(self.arcs),
+                        from_pin=from_pin.index,
+                        to_pin=to_pin.index,
+                        kind=ArcKind.CELL,
+                        spec=spec,
+                    )
+                )
+
+    def _build_adjacency(self) -> None:
+        """CSR fanin/fanout adjacency: arc indices grouped by to/from pin."""
+        num_arcs = len(self.arcs)
+        fanin_counts = np.bincount(self.arc_to, minlength=self.num_pins) if num_arcs else np.zeros(self.num_pins, dtype=np.int64)
+        fanout_counts = np.bincount(self.arc_from, minlength=self.num_pins) if num_arcs else np.zeros(self.num_pins, dtype=np.int64)
+        self.fanin_offsets = np.concatenate([[0], np.cumsum(fanin_counts)]).astype(np.int64)
+        self.fanout_offsets = np.concatenate([[0], np.cumsum(fanout_counts)]).astype(np.int64)
+        self.fanin_arcs = np.argsort(self.arc_to, kind="stable").astype(np.int64) if num_arcs else np.zeros(0, dtype=np.int64)
+        self.fanout_arcs = np.argsort(self.arc_from, kind="stable").astype(np.int64) if num_arcs else np.zeros(0, dtype=np.int64)
+
+    def fanin_of(self, pin: int) -> np.ndarray:
+        """Indices of arcs whose sink is ``pin``."""
+        return self.fanin_arcs[self.fanin_offsets[pin]: self.fanin_offsets[pin + 1]]
+
+    def fanout_of(self, pin: int) -> np.ndarray:
+        """Indices of arcs whose source is ``pin``."""
+        return self.fanout_arcs[self.fanout_offsets[pin]: self.fanout_offsets[pin + 1]]
+
+    def _levelize(self) -> np.ndarray:
+        """Topological levels via Kahn's algorithm; raises on cycles."""
+        indegree = np.bincount(self.arc_to, minlength=self.num_pins).astype(np.int64) if len(self.arcs) else np.zeros(self.num_pins, dtype=np.int64)
+        level = np.zeros(self.num_pins, dtype=np.int64)
+        queue = [int(p) for p in np.nonzero(indegree == 0)[0]]
+        processed = 0
+        head = 0
+        while head < len(queue):
+            pin = queue[head]
+            head += 1
+            processed += 1
+            for arc_idx in self.fanout_of(pin):
+                arc = self.arcs[int(arc_idx)]
+                target = arc.to_pin
+                if level[target] < level[pin] + 1:
+                    level[target] = level[pin] + 1
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    queue.append(target)
+        if processed != self.num_pins:
+            remaining = int(self.num_pins - processed)
+            raise ValueError(
+                f"Timing graph contains combinational loops ({remaining} pins unresolved)"
+            )
+        return level
+
+    def _find_startpoints(self) -> List[int]:
+        """Primary-input driver pins and flip-flop clock pins."""
+        points: List[int] = []
+        for pin in self.design.pins:
+            if pin.instance.is_port and pin.is_driver:
+                points.append(pin.index)
+            elif pin.lib_pin.is_clock and pin.instance.is_sequential:
+                points.append(pin.index)
+        return points
+
+    def _find_endpoints(self) -> List[int]:
+        """Primary-output pins and flip-flop data (D) pins."""
+        points: List[int] = []
+        for pin in self.design.pins:
+            if pin.instance.is_port and not pin.is_driver:
+                points.append(pin.index)
+            elif (
+                pin.instance.is_sequential
+                and pin.lib_pin.is_input
+                and not pin.lib_pin.is_clock
+            ):
+                points.append(pin.index)
+        return points
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arcs)
+
+    @property
+    def num_net_arcs(self) -> int:
+        return int(np.sum(self.arc_kind == int(ArcKind.NET))) if self.arcs else 0
+
+    @property
+    def num_cell_arcs(self) -> int:
+        return int(np.sum(self.arc_kind == int(ArcKind.CELL))) if self.arcs else 0
+
+    def pin_name(self, pin_index: int) -> str:
+        return self.design.pins[pin_index].full_name
+
+    def describe(self) -> Dict[str, int]:
+        """Summary statistics used in logs and tests."""
+        return {
+            "num_pins": self.num_pins,
+            "num_arcs": self.num_arcs,
+            "num_net_arcs": self.num_net_arcs,
+            "num_cell_arcs": self.num_cell_arcs,
+            "num_startpoints": len(self.startpoints),
+            "num_endpoints": len(self.endpoints),
+            "num_clock_nets": len(self.clock_nets),
+            "max_level": self.max_level,
+        }

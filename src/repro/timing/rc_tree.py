@@ -1,0 +1,132 @@
+"""Explicit RC tree with Elmore delay evaluation.
+
+The Elmore delay from the tree root (net driver) to a node ``t`` is
+
+    delay(t) = sum over edges e on the root->t path of  R_e * C_down(e)
+
+where ``C_down(e)`` is the total capacitance in the subtree hanging below
+edge ``e`` (wire capacitance plus pin loads).  This is the delay model the
+paper's quadratic distance loss is derived from (Sec. III-C, Eq. 7): with
+wire resistance and capacitance both linear in length, the driver-to-sink
+delay grows quadratically with the pin-to-pin distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.timing.steiner import NetTopology
+
+
+@dataclass
+class _Edge:
+    parent: int
+    child: int
+    resistance: float
+    capacitance: float
+
+
+class RCTree:
+    """Distributed RC tree for one net.
+
+    Wire segments use a pi-model: half the segment capacitance is lumped at
+    each end.  Pin load capacitances are added at the pin nodes.
+    """
+
+    def __init__(
+        self,
+        topology: NetTopology,
+        *,
+        resistance_per_unit: float,
+        capacitance_per_unit: float,
+        pin_caps: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.topology = topology
+        self.resistance_per_unit = resistance_per_unit
+        self.capacitance_per_unit = capacitance_per_unit
+        num_nodes = topology.node_xy.shape[0]
+        self.node_cap = np.zeros(num_nodes, dtype=np.float64)
+        if pin_caps is not None:
+            caps = np.asarray(pin_caps, dtype=np.float64)
+            if caps.size != topology.num_pins:
+                raise ValueError("pin_caps must have one entry per pin")
+            self.node_cap[: topology.num_pins] += caps
+
+        self._edges: List[_Edge] = []
+        self._children: Dict[int, List[int]] = {}
+        for parent, child, length in topology.edges:
+            resistance = resistance_per_unit * length
+            capacitance = capacitance_per_unit * length
+            self._edges.append(_Edge(parent, child, resistance, capacitance))
+            self.node_cap[parent] += 0.5 * capacitance
+            self.node_cap[child] += 0.5 * capacitance
+            self._children.setdefault(parent, []).append(len(self._edges) - 1)
+
+        self.root = topology.root
+        self._downstream_cap: Optional[np.ndarray] = None
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total capacitance the driver sees (wire + pin loads)."""
+        return float(self.node_cap.sum())
+
+    @property
+    def total_wire_length(self) -> float:
+        return self.topology.total_length
+
+    def _compute_downstream(self) -> np.ndarray:
+        """Capacitance of the subtree rooted at each node (including itself)."""
+        if self._downstream_cap is not None:
+            return self._downstream_cap
+        num_nodes = self.node_cap.size
+        downstream = self.node_cap.copy()
+        # Process nodes bottom-up: children before parents. Obtain an order by
+        # DFS from the root and reverse it.
+        order: List[int] = []
+        stack = [self.root]
+        visited = set()
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            for edge_idx in self._children.get(node, []):
+                stack.append(self._edges[edge_idx].child)
+        for node in reversed(order):
+            for edge_idx in self._children.get(node, []):
+                downstream[node] += downstream[self._edges[edge_idx].child]
+        self._downstream_cap = downstream
+        return downstream
+
+    def elmore_delay(self, node: int) -> float:
+        """Elmore delay from the root (driver) to ``node``."""
+        downstream = self._compute_downstream()
+        # Build parent pointers lazily.
+        parent_edge: Dict[int, _Edge] = {e.child: e for e in self._edges}
+        delay = 0.0
+        current = node
+        guard = 0
+        while current != self.root:
+            edge = parent_edge.get(current)
+            if edge is None:
+                raise ValueError(f"Node {current} is not reachable from the root")
+            delay += edge.resistance * downstream[edge.child]
+            current = edge.parent
+            guard += 1
+            if guard > len(self._edges) + 1:
+                raise ValueError("RC tree contains a cycle")
+        return float(delay)
+
+    def elmore_delays_to_pins(self) -> np.ndarray:
+        """Elmore delay from the root to every pin node (driver delay is 0)."""
+        num_pins = self.topology.num_pins
+        delays = np.zeros(num_pins, dtype=np.float64)
+        for pin in range(num_pins):
+            if pin == self.root:
+                continue
+            delays[pin] = self.elmore_delay(pin)
+        return delays

@@ -1,0 +1,135 @@
+"""Net routing topologies for RC tree construction.
+
+Global placement does not know the routed topology of a net, so timing-driven
+placers estimate it.  Two estimators are provided:
+
+* :func:`star_topology` — every pin connects to a virtual center node (the
+  pin centroid).  O(p) and fully vectorizable; the default the STA engine
+  uses during placement iterations.
+* :func:`mst_topology` — rectilinear minimum spanning tree over the pins
+  (Prim's algorithm on Manhattan distance), rooted at the driver.  A closer
+  approximation of a Steiner route for analysis/reporting.
+
+Both return a :class:`NetTopology`: a tree of nodes (pins plus optional
+virtual nodes) with per-edge lengths, which :class:`repro.timing.rc_tree.RCTree`
+converts into resistors and capacitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class NetTopology:
+    """Tree topology of one net.
+
+    ``node_xy`` holds coordinates for every node; nodes ``0..num_pins-1``
+    correspond to the net's pins in their original order (driver first when
+    the caller puts it first), higher indices are virtual (Steiner/star)
+    nodes.  ``edges`` are ``(parent, child, length)`` triples forming a tree
+    rooted at ``root`` (the driver's node).
+    """
+
+    node_xy: np.ndarray
+    edges: List[Tuple[int, int, float]]
+    root: int
+    num_pins: int
+
+    @property
+    def total_length(self) -> float:
+        return float(sum(length for _, _, length in self.edges))
+
+    def children(self, node: int) -> List[Tuple[int, float]]:
+        return [(child, length) for parent, child, length in self.edges if parent == node]
+
+
+def star_topology(
+    pin_x: Sequence[float],
+    pin_y: Sequence[float],
+    driver_index: int = 0,
+) -> NetTopology:
+    """Star topology: driver -> virtual center -> every sink.
+
+    Degenerate nets (fewer than two pins) yield an empty edge list.  Two-pin
+    nets connect driver and sink directly without a virtual node, which both
+    matches physical routing and keeps the Elmore delay exact for that case.
+    """
+    xs = np.asarray(pin_x, dtype=np.float64)
+    ys = np.asarray(pin_y, dtype=np.float64)
+    num_pins = xs.size
+    if num_pins < 2:
+        return NetTopology(np.stack([xs, ys], axis=1), [], driver_index, num_pins)
+    if num_pins == 2:
+        sink = 1 - driver_index
+        length = float(abs(xs[0] - xs[1]) + abs(ys[0] - ys[1]))
+        node_xy = np.stack([xs, ys], axis=1)
+        return NetTopology(node_xy, [(driver_index, sink, length)], driver_index, num_pins)
+
+    center_x = float(xs.mean())
+    center_y = float(ys.mean())
+    node_xy = np.vstack([np.stack([xs, ys], axis=1), [[center_x, center_y]]])
+    center = num_pins
+    edges: List[Tuple[int, int, float]] = []
+    driver_len = float(abs(xs[driver_index] - center_x) + abs(ys[driver_index] - center_y))
+    edges.append((driver_index, center, driver_len))
+    for i in range(num_pins):
+        if i == driver_index:
+            continue
+        length = float(abs(xs[i] - center_x) + abs(ys[i] - center_y))
+        edges.append((center, i, length))
+    return NetTopology(node_xy, edges, driver_index, num_pins)
+
+
+def mst_topology(
+    pin_x: Sequence[float],
+    pin_y: Sequence[float],
+    driver_index: int = 0,
+    *,
+    max_pins_exact: int = 64,
+) -> NetTopology:
+    """Rectilinear MST topology rooted at the driver (Prim's algorithm).
+
+    Nets larger than ``max_pins_exact`` pins fall back to the star topology;
+    the O(p^2) Prim construction would dominate runtime on huge fan-out nets
+    (clock or reset trees), exactly the nets whose topology a placer cannot
+    meaningfully estimate anyway.
+    """
+    xs = np.asarray(pin_x, dtype=np.float64)
+    ys = np.asarray(pin_y, dtype=np.float64)
+    num_pins = xs.size
+    if num_pins < 2:
+        return NetTopology(np.stack([xs, ys], axis=1), [], driver_index, num_pins)
+    if num_pins > max_pins_exact:
+        return star_topology(pin_x, pin_y, driver_index)
+
+    in_tree = np.zeros(num_pins, dtype=bool)
+    in_tree[driver_index] = True
+    # best_dist[i]: cheapest Manhattan distance from i to the current tree.
+    best_dist = np.abs(xs - xs[driver_index]) + np.abs(ys - ys[driver_index])
+    best_parent = np.full(num_pins, driver_index, dtype=np.int64)
+    edges: List[Tuple[int, int, float]] = []
+    for _ in range(num_pins - 1):
+        candidates = np.where(~in_tree, best_dist, np.inf)
+        nxt = int(np.argmin(candidates))
+        edges.append((int(best_parent[nxt]), nxt, float(best_dist[nxt])))
+        in_tree[nxt] = True
+        dist_to_new = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        improved = (~in_tree) & (dist_to_new < best_dist)
+        best_dist = np.where(improved, dist_to_new, best_dist)
+        best_parent = np.where(improved, nxt, best_parent)
+
+    node_xy = np.stack([xs, ys], axis=1)
+    return NetTopology(node_xy, edges, driver_index, num_pins)
+
+
+def half_perimeter(pin_x: Sequence[float], pin_y: Sequence[float]) -> float:
+    """HPWL of a pin set; convenience used in tests against topology lengths."""
+    xs = np.asarray(pin_x, dtype=np.float64)
+    ys = np.asarray(pin_y, dtype=np.float64)
+    if xs.size < 2:
+        return 0.0
+    return float((xs.max() - xs.min()) + (ys.max() - ys.min()))

@@ -1,0 +1,17 @@
+"""Shared utilities: geometry helpers, RNG handling, profiling, logging."""
+
+from repro.utils.geometry import BoundingBox, Rect, manhattan_distance, euclidean_distance
+from repro.utils.rng import make_rng
+from repro.utils.profiling import RuntimeProfiler, Timer
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "BoundingBox",
+    "Rect",
+    "manhattan_distance",
+    "euclidean_distance",
+    "make_rng",
+    "RuntimeProfiler",
+    "Timer",
+    "get_logger",
+]

@@ -1,0 +1,36 @@
+"""Thin wrapper around :mod:`logging` with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The first call installs a simple stream handler on the root ``repro``
+    logger unless the application configured logging already.
+    """
+    global _CONFIGURED
+    root = logging.getLogger(_ROOT_NAME)
+    if not _CONFIGURED and not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        _CONFIGURED = True
+    if name is None or name == _ROOT_NAME:
+        return root
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of all ``repro`` loggers (e.g. ``logging.DEBUG``)."""
+    get_logger().setLevel(level)

@@ -1,0 +1,131 @@
+"""Lightweight runtime profiling for the Fig. 4 runtime-breakdown experiment.
+
+The paper reports, for DREAMPlace 4.0 and for the proposed method, how total
+runtime splits between IO, gradient computation, timing analysis, weighting,
+legalization, and "others".  The placers in this library record component
+times into a :class:`RuntimeProfiler` so the benchmark harness can regenerate
+that breakdown without any external tooling.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer for one named component."""
+
+    name: str
+    total: float = 0.0
+    calls: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"Timer '{self.name}' is already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"Timer '{self.name}' was not started")
+        elapsed = time.perf_counter() - self._start
+        self.total += elapsed
+        self.calls += 1
+        self._start = None
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+class RuntimeProfiler:
+    """Collect per-component wall-clock time for a placement run.
+
+    Components mirror Fig. 4 of the paper: ``io``, ``gradient``,
+    ``timing_analysis``, ``weighting``, ``legalization``, ``others``.
+    Arbitrary component names are accepted so ablations can add their own.
+    """
+
+    STANDARD_COMPONENTS = (
+        "io",
+        "gradient",
+        "timing_analysis",
+        "weighting",
+        "legalization",
+        "others",
+    )
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+        self._wall_start = time.perf_counter()
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager timing one component section."""
+        timer = self._timers.setdefault(name, Timer(name))
+        timer.start()
+        try:
+            yield
+        finally:
+            timer.stop()
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to component ``name``."""
+        timer = self._timers.setdefault(name, Timer(name))
+        timer.total += seconds
+        timer.calls += 1
+
+    def total(self, name: str) -> float:
+        timer = self._timers.get(name)
+        return timer.total if timer is not None else 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock time since the profiler was created."""
+        return time.perf_counter() - self._wall_start
+
+    def breakdown(self, total_elapsed: float | None = None) -> Dict[str, float]:
+        """Return per-component seconds, adding an ``others`` remainder.
+
+        The remainder is the wall time not attributed to any explicit
+        section, matching the paper's "Others" slice.  ``total_elapsed``
+        overrides the profiler's own lifetime; pass the flow's measured run
+        time when the profiler object outlives the run (it is created at flow
+        construction and queried much later by the benchmark harness).
+        """
+        result = {name: timer.total for name, timer in self._timers.items()}
+        accounted = sum(result.values())
+        elapsed = self.elapsed if total_elapsed is None else total_elapsed
+        others = max(0.0, elapsed - accounted)
+        result["others"] = result.get("others", 0.0) + others
+        return result
+
+    def normalized_breakdown(
+        self,
+        reference_total: float | None = None,
+        *,
+        total_elapsed: float | None = None,
+    ) -> Dict[str, float]:
+        """Return the breakdown as fractions of ``reference_total``.
+
+        When ``reference_total`` is omitted the profiler's own elapsed time is
+        used, so the fractions sum to ~1.  Passing another run's total allows
+        the Fig. 4 style normalization against DREAMPlace 4.0's runtime.
+        """
+        ref = self.elapsed if reference_total is None else reference_total
+        if ref <= 0:
+            raise ValueError("reference_total must be positive")
+        return {
+            name: seconds / ref
+            for name, seconds in self.breakdown(total_elapsed=total_elapsed).items()
+        }
+
+    def merge(self, other: "RuntimeProfiler") -> None:
+        """Fold another profiler's component totals into this one."""
+        for name, timer in other._timers.items():
+            self.add(name, timer.total)

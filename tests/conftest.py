@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (generated benchmarks, placed designs) are module- or
+session-scoped so the suite stays fast while still exercising the real flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import CircuitSpec, generate_circuit
+from repro.netlist import Design, make_generic_library
+from repro.timing import TimingConstraints
+
+
+@pytest.fixture(scope="session")
+def library():
+    return make_generic_library()
+
+
+def build_tiny_design(library, *, period: float = 100.0) -> Design:
+    """A 4-cell pipeline: in0 -> ff1 -> INV -> BUF -> ff2 -> out0."""
+    design = Design("tiny", die=(0, 0, 200, 204), library=library)
+    design.add_port("in0", "input", x=0, y=100)
+    design.add_port("clk", "input", x=0, y=0)
+    design.add_port("out0", "output", x=200, y=100)
+    design.add_instance("ff1", "DFF_X1", x=20, y=96)
+    design.add_instance("u1", "INV_X1", x=100, y=96)
+    design.add_instance("u2", "BUF_X1", x=150, y=96)
+    design.add_instance("ff2", "DFF_X1", x=180, y=96)
+    for net in ["nin", "nclk", "n1", "n2", "n3", "nq2"]:
+        design.add_net(net)
+    design.connect("nin", "in0")
+    design.connect("nin", "ff1", "d")
+    design.connect("nclk", "clk")
+    design.connect("nclk", "ff1", "ck")
+    design.connect("nclk", "ff2", "ck")
+    design.connect("n1", "ff1", "q")
+    design.connect("n1", "u1", "a")
+    design.connect("n2", "u1", "o")
+    design.connect("n2", "u2", "a")
+    design.connect("n3", "u2", "o")
+    design.connect("n3", "ff2", "d")
+    design.connect("nq2", "ff2", "q")
+    design.connect("nq2", "out0")
+    design.clock_period = period
+    design.clock_port = "clk"
+    design.finalize()
+    return design
+
+
+@pytest.fixture()
+def tiny_design(library):
+    return build_tiny_design(library)
+
+
+@pytest.fixture()
+def tiny_constraints():
+    return TimingConstraints(clock_period=100.0, clock_port="clk")
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return CircuitSpec(
+        name="unit_small",
+        num_cells=220,
+        sequential_fraction=0.2,
+        logic_depth=6,
+        num_primary_inputs=8,
+        num_primary_outputs=8,
+        utilization=0.6,
+        clock_tightness=0.8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_design(small_spec):
+    """A ~220-cell synthetic design shared (read-only topology) across tests."""
+    return generate_circuit(small_spec)
+
+
+@pytest.fixture()
+def fresh_small_design(small_spec):
+    """A private copy of the small design for tests that move cells."""
+    return generate_circuit(small_spec)

@@ -1,0 +1,137 @@
+"""Tests for critical path reporting (report_timing / report_timing_endpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
+from repro.timing.graph import ArcKind
+
+
+@pytest.fixture()
+def engine(tiny_design, tiny_constraints):
+    eng = STAEngine(tiny_design, tiny_constraints)
+    eng.update_timing()
+    return eng
+
+
+@pytest.fixture()
+def small_engine(fresh_small_design):
+    eng = STAEngine(fresh_small_design)
+    eng.update_timing()
+    return eng
+
+
+class TestPathStructure:
+    def test_worst_path_traverses_pipeline(self, engine, tiny_design):
+        paths, _ = report_timing(engine, 1)
+        assert len(paths) == 1
+        path = paths[0]
+        names = [engine.graph.pin_name(p) for p in path.pins]
+        assert names[0] == "ff1/ck"
+        assert names[-1] == "ff2/d"
+        assert path.slack == pytest.approx(engine.last_result.wns, rel=1e-6)
+
+    def test_path_arrival_equals_sum_of_arc_delays(self, engine):
+        paths, _ = report_timing(engine, 1)
+        path = paths[0]
+        result = engine.last_result
+        total = float(result.arrival[path.startpoint]) + float(
+            sum(result.arc_delay[a] for a in path.arcs)
+        )
+        assert path.arrival == pytest.approx(total, rel=1e-9)
+
+    def test_pin_pairs_are_net_arcs_only(self, engine):
+        paths, _ = report_timing(engine, 1)
+        pairs = paths[0].pin_pairs(engine.graph)
+        graph = engine.graph
+        arcs_by_pins = {(a.from_pin, a.to_pin): a for a in graph.arcs}
+        for pair in pairs:
+            assert arcs_by_pins[pair].kind is ArcKind.NET
+
+    def test_describe_contains_slack(self, engine):
+        paths, _ = report_timing(engine, 1)
+        assert "slack=" in paths[0].describe(engine.graph)
+
+    def test_path_pins_consistent_with_arcs(self, small_engine):
+        paths, _ = report_timing_endpoint(small_engine, 5, 1)
+        for path in paths:
+            assert len(path.pins) == len(path.arcs) + 1
+            for pin, arc_index in zip(path.pins[1:], path.arcs):
+                assert small_engine.graph.arcs[arc_index].to_pin == pin
+
+
+class TestReportTimingEndpoint:
+    def test_covers_requested_endpoints(self, small_engine):
+        result = small_engine.last_result
+        n = min(10, result.num_failing_endpoints)
+        paths, stats = report_timing_endpoint(small_engine, n, 1, failing_only=True)
+        assert stats.num_endpoints == n
+        assert stats.num_paths == n
+
+    def test_k_paths_per_endpoint(self, small_engine):
+        paths, stats = report_timing_endpoint(small_engine, 5, 3)
+        counts = {}
+        for path in paths:
+            counts[path.endpoint] = counts.get(path.endpoint, 0) + 1
+        assert all(c <= 3 for c in counts.values())
+        assert stats.num_endpoints == len(counts)
+
+    def test_paths_per_endpoint_sorted_by_arrival(self, small_engine):
+        paths, _ = report_timing_endpoint(small_engine, 3, 4)
+        by_endpoint = {}
+        for path in paths:
+            by_endpoint.setdefault(path.endpoint, []).append(path.arrival)
+        for arrivals in by_endpoint.values():
+            assert arrivals == sorted(arrivals, reverse=True)
+
+    def test_worst_path_per_endpoint_matches_arrival(self, small_engine):
+        result = small_engine.last_result
+        paths, _ = report_timing_endpoint(small_engine, 5, 1, failing_only=True)
+        for path in paths:
+            assert path.arrival == pytest.approx(float(result.arrival[path.endpoint]), rel=1e-6)
+
+    def test_zero_endpoints(self, small_engine):
+        paths, stats = report_timing_endpoint(small_engine, 0, 1)
+        assert paths == []
+        assert stats.num_paths == 0
+
+    def test_stats_row_keys(self, small_engine):
+        _, stats = report_timing_endpoint(small_engine, 5, 1)
+        row = stats.as_row()
+        assert set(row) == {
+            "command", "complexity", "num_paths", "num_endpoints", "num_pin_pairs", "time_sec",
+        }
+        assert row["complexity"] == "O(n*k)"
+
+
+class TestReportTiming:
+    def test_returns_n_worst_paths(self, small_engine):
+        paths, stats = report_timing(small_engine, 8)
+        assert len(paths) <= 8
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_endpoint_concentration(self, small_engine):
+        """report_timing(n) covers far fewer endpoints than endpoint extraction."""
+        result = small_engine.last_result
+        n = min(20, result.num_failing_endpoints)
+        if n < 4:
+            pytest.skip("design too easy for this comparison")
+        _, stats_rt = report_timing(small_engine, n, failing_only=True)
+        _, stats_ep = report_timing_endpoint(small_engine, n, 1, failing_only=True)
+        assert stats_ep.num_endpoints == n
+        assert stats_rt.num_endpoints <= stats_ep.num_endpoints
+
+    def test_worst_path_agrees_with_endpoint_variant(self, small_engine):
+        rt, _ = report_timing(small_engine, 1)
+        ep, _ = report_timing_endpoint(small_engine, 1, 1)
+        assert rt[0].endpoint == ep[0].endpoint
+        assert rt[0].arrival == pytest.approx(ep[0].arrival)
+
+    def test_complexity_label(self, small_engine):
+        _, stats = report_timing(small_engine, 3)
+        assert stats.complexity == "O(n^2)"
+
+    def test_analyzed_at_least_selected(self, small_engine):
+        _, stats = report_timing(small_engine, 5)
+        assert stats.num_paths_analyzed >= stats.num_paths

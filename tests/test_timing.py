@@ -1,0 +1,288 @@
+"""Tests for the timing substrate: topologies, RC trees, delay models, graph, STA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing import (
+    RCTree,
+    STAEngine,
+    TimingConstraints,
+    TimingGraph,
+    mst_topology,
+    star_topology,
+)
+from repro.timing.delay_model import WireRCModel
+from repro.timing.graph import ArcKind
+from repro.timing.steiner import half_perimeter
+
+coords = st.floats(0, 1000, allow_nan=False)
+
+
+class TestTopologies:
+    def test_two_pin_star_is_direct_edge(self):
+        topo = star_topology([0, 10], [0, 0], driver_index=0)
+        assert len(topo.edges) == 1
+        assert topo.total_length == pytest.approx(10.0)
+
+    def test_star_center_is_centroid(self):
+        topo = star_topology([0, 10, 20], [0, 0, 0], driver_index=0)
+        assert topo.node_xy[-1][0] == pytest.approx(10.0)
+        assert len(topo.edges) == 3
+
+    def test_single_pin_net(self):
+        topo = star_topology([5], [5])
+        assert topo.edges == []
+
+    def test_mst_is_a_tree(self):
+        xs = [0, 10, 20, 10]
+        ys = [0, 0, 0, 10]
+        topo = mst_topology(xs, ys, driver_index=0)
+        assert len(topo.edges) == 3
+
+    def test_mst_reaches_all_pins(self):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(0, 100, 12)
+        ys = rng.uniform(0, 100, 12)
+        topo = mst_topology(xs, ys, driver_index=3)
+        children = {c for _, c, _ in topo.edges}
+        assert children | {3} == set(range(12))
+
+    def test_mst_fallback_to_star_for_large_nets(self):
+        xs = list(range(100))
+        ys = [0] * 100
+        topo = mst_topology(xs, ys, max_pins_exact=50)
+        # Star adds a virtual center node.
+        assert topo.node_xy.shape[0] == 101
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_mst_length_at_least_half_perimeter(self, points):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        topo = mst_topology(xs, ys)
+        # The rectilinear MST is never shorter than the HPWL lower bound.
+        assert topo.total_length >= half_perimeter(xs, ys) - 1e-6
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_star_length_at_least_half_perimeter(self, points):
+        # Sum of centroid distances covers the full x and y spans, so the star
+        # length is also lower-bounded by the HPWL (the star center may act as
+        # a Steiner point, so it is NOT necessarily longer than the MST).
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        star = star_topology(xs, ys)
+        assert star.total_length >= half_perimeter(xs, ys) - 1e-6
+
+
+class TestRCTree:
+    def test_two_pin_elmore_formula(self):
+        r, c = 0.002, 0.00016
+        length = 100.0
+        pin_cap = 0.005
+        topo = star_topology([0, length], [0, 0], driver_index=0)
+        tree = RCTree(topo, resistance_per_unit=r, capacitance_per_unit=c,
+                      pin_caps=[0.0, pin_cap])
+        expected = r * length * (c * length / 2 + pin_cap)
+        assert tree.elmore_delay(1) == pytest.approx(expected, rel=1e-9)
+
+    def test_delay_is_quadratic_in_length(self):
+        r, c = 0.002, 0.00016
+
+        def delay(length):
+            topo = star_topology([0, length], [0, 0], driver_index=0)
+            return RCTree(topo, resistance_per_unit=r, capacitance_per_unit=c,
+                          pin_caps=[0.0, 0.0]).elmore_delay(1)
+
+        # With no pin load the delay is purely r*c*L^2/2: doubling the length
+        # quadruples the delay.
+        assert delay(200.0) == pytest.approx(4.0 * delay(100.0), rel=1e-9)
+
+    def test_root_delay_zero(self):
+        topo = star_topology([0, 50, 80], [0, 10, -5], driver_index=0)
+        tree = RCTree(topo, resistance_per_unit=1e-3, capacitance_per_unit=1e-4)
+        assert tree.elmore_delays_to_pins()[0] == 0.0
+
+    def test_farther_sink_has_larger_delay(self):
+        topo = star_topology([0, 50, 300], [0, 0, 0], driver_index=0)
+        tree = RCTree(topo, resistance_per_unit=1e-3, capacitance_per_unit=1e-4,
+                      pin_caps=[0.0, 0.01, 0.01])
+        delays = tree.elmore_delays_to_pins()
+        assert delays[2] > delays[1] > 0
+
+    def test_total_capacitance_increases_with_length(self):
+        short = RCTree(star_topology([0, 10], [0, 0]), resistance_per_unit=1e-3,
+                       capacitance_per_unit=1e-4)
+        long = RCTree(star_topology([0, 100], [0, 0]), resistance_per_unit=1e-3,
+                      capacitance_per_unit=1e-4)
+        assert long.total_capacitance > short.total_capacitance
+
+
+class TestWireRCModel:
+    def test_matches_rc_tree_for_two_pin_net(self, tiny_design):
+        model = WireRCModel(tiny_design)
+        px, py = tiny_design.pin_positions()
+        result = model.evaluate(px, py)
+        net = tiny_design.net("n1")  # ff1/q -> u1/a
+        driver = net.driver
+        sink = net.sinks[0]
+        lib = tiny_design.library
+        length = abs(px[driver.index] - px[sink.index]) + abs(py[driver.index] - py[sink.index])
+        expected = lib.wire_resistance_per_unit * length * (
+            lib.wire_capacitance_per_unit * length / 2 + sink.capacitance
+        )
+        assert result.sink_delay[sink.index] == pytest.approx(expected, rel=1e-6)
+
+    def test_driver_pins_have_zero_delay(self, tiny_design):
+        model = WireRCModel(tiny_design)
+        result = model.evaluate(*tiny_design.pin_positions())
+        for net in tiny_design.nets:
+            if net.driver is not None:
+                assert result.sink_delay[net.driver.index] == 0.0
+
+    def test_net_load_includes_sink_caps(self, tiny_design):
+        model = WireRCModel(tiny_design)
+        result = model.evaluate(*tiny_design.pin_positions())
+        net = tiny_design.net("n1")
+        assert result.net_load[net.index] >= net.sinks[0].capacitance
+
+    def test_loads_shrink_when_cells_move_closer(self, tiny_design):
+        model = WireRCModel(tiny_design)
+        x, y = tiny_design.positions()
+        far = model.evaluate(*tiny_design.pin_positions(x, y))
+        x_close = x.copy()
+        x_close[tiny_design.instance("u1").index] = tiny_design.instance("ff1").x + 5
+        close = model.evaluate(*tiny_design.pin_positions(x_close, y))
+        net = tiny_design.net("n1").index
+        assert close.net_load[net] < far.net_load[net]
+
+
+class TestTimingGraph:
+    def test_clock_net_excluded(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        clk_net = tiny_design.net("nclk")
+        assert clk_net.index in graph.clock_nets
+        for arc in graph.arcs:
+            assert arc.net_index != clk_net.index
+
+    def test_arc_counts(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        # Net arcs: nin, n1, n2, n3, nq2 (clock net excluded) = 5.
+        assert graph.num_net_arcs == 5
+        # Cell arcs: 2 DFF ck->q + INV a->o + BUF a->o = 4.
+        assert graph.num_cell_arcs == 4
+
+    def test_startpoints_and_endpoints(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        start_names = {graph.pin_name(p) for p in graph.startpoints}
+        end_names = {graph.pin_name(p) for p in graph.endpoints}
+        assert start_names == {"in0", "clk", "ff1/ck", "ff2/ck"}
+        assert end_names == {"out0", "ff1/d", "ff2/d"}
+
+    def test_levelization_monotonic(self, small_design):
+        graph = TimingGraph(small_design)
+        for arc in graph.arcs:
+            assert graph.level[arc.from_pin] < graph.level[arc.to_pin]
+
+    def test_fanin_fanout_consistency(self, small_design):
+        graph = TimingGraph(small_design)
+        total_fanin = sum(graph.fanin_of(p).size for p in range(graph.num_pins))
+        total_fanout = sum(graph.fanout_of(p).size for p in range(graph.num_pins))
+        assert total_fanin == graph.num_arcs
+        assert total_fanout == graph.num_arcs
+
+    def test_describe_keys(self, small_design):
+        info = TimingGraph(small_design).describe()
+        assert info["num_endpoints"] > 0
+        assert info["num_startpoints"] > 0
+        assert info["max_level"] > 1
+
+    def test_combinational_loop_detection(self, library):
+        from repro.netlist import Design
+
+        design = Design("loop", die=(0, 0, 100, 96), library=library)
+        design.add_instance("u1", "INV_X1")
+        design.add_instance("u2", "INV_X1")
+        design.add_net("a")
+        design.add_net("b")
+        design.connect("a", "u1", "o")
+        design.connect("a", "u2", "a")
+        design.connect("b", "u2", "o")
+        design.connect("b", "u1", "a")
+        design.finalize()
+        with pytest.raises(ValueError, match="loop"):
+            TimingGraph(design)
+
+
+class TestSTA:
+    def test_register_path_is_critical(self, tiny_design, tiny_constraints):
+        engine = STAEngine(tiny_design, tiny_constraints)
+        result = engine.update_timing()
+        assert result.wns < 0
+        assert result.tns <= result.wns
+        slack_ff2_d = result.slack[tiny_design.pin("ff2/d").index]
+        assert slack_ff2_d == pytest.approx(result.wns)
+
+    def test_tns_sums_negative_endpoint_slacks(self, tiny_design, tiny_constraints):
+        engine = STAEngine(tiny_design, tiny_constraints)
+        result = engine.update_timing()
+        negative = result.endpoint_slack[result.endpoint_slack < 0]
+        assert result.tns == pytest.approx(float(negative.sum()))
+
+    def test_relaxed_clock_meets_timing(self, tiny_design):
+        engine = STAEngine(tiny_design, TimingConstraints(clock_period=5000.0, clock_port="clk"))
+        result = engine.update_timing()
+        assert result.wns == 0.0
+        assert result.tns == 0.0
+        assert result.num_failing_endpoints == 0
+
+    def test_slack_is_required_minus_arrival(self, tiny_design, tiny_constraints):
+        engine = STAEngine(tiny_design, tiny_constraints)
+        result = engine.update_timing()
+        assert np.allclose(result.slack, result.required - result.arrival)
+
+    def test_input_delay_shifts_arrival(self, tiny_design):
+        base = STAEngine(tiny_design, TimingConstraints(clock_period=100.0, clock_port="clk"))
+        shifted = STAEngine(
+            tiny_design,
+            TimingConstraints(clock_period=100.0, clock_port="clk", input_delays={"in0": 30.0}),
+        )
+        pin = tiny_design.pin("ff1/d").index
+        assert shifted.update_timing().arrival[pin] == pytest.approx(
+            base.update_timing().arrival[pin] + 30.0
+        )
+
+    def test_moving_cells_apart_degrades_timing(self, tiny_design, tiny_constraints):
+        engine = STAEngine(tiny_design, tiny_constraints)
+        x, y = tiny_design.positions()
+        base = engine.update_timing(x, y).tns
+        x_far = x.copy()
+        x_far[tiny_design.instance("u1").index] = 0.0
+        x_far[tiny_design.instance("u2").index] = 190.0
+        worse = engine.update_timing(x_far, y).tns
+        assert worse < base
+
+    def test_failing_endpoints_sorted_worst_first(self, small_design):
+        engine = STAEngine(small_design)
+        result = engine.update_timing()
+        failing = result.failing_endpoints
+        slacks = [result.endpoint_slack_of(int(p)) for p in failing]
+        assert slacks == sorted(slacks)
+
+    def test_wns_is_min_endpoint_slack(self, small_design):
+        engine = STAEngine(small_design)
+        result = engine.update_timing()
+        if result.num_failing_endpoints:
+            assert result.wns == pytest.approx(float(result.endpoint_slack.min()))
+
+    def test_summary_requires_update(self, tiny_design, tiny_constraints):
+        engine = STAEngine(tiny_design, tiny_constraints)
+        with pytest.raises(RuntimeError):
+            engine.summary()
+        engine.update_timing()
+        assert "wns" in engine.summary()
+
+    def test_bad_constraints_rejected(self, tiny_design):
+        with pytest.raises(ValueError):
+            STAEngine(tiny_design, TimingConstraints(clock_period=-5.0))
