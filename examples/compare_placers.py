@@ -1,24 +1,21 @@
 #!/usr/bin/env python3
 """Compare all four placement flows on a chosen benchmark (Table II, one row).
 
-Runs DREAMPlace, DREAMPlace 4.0 (momentum net weighting), Differentiable-TDP
-(smoothed path-free attraction), and Efficient-TDP (ours) on one sb_mini
-design and prints their TNS / WNS / HPWL / runtime side by side.
+Runs every registered flow preset — DREAMPlace, DREAMPlace 4.0 (momentum net
+weighting), Differentiable-TDP (smoothed path-free attraction), and
+Efficient-TDP (ours) — on one sb_mini design through the batch runner, and
+prints TNS / WNS / HPWL / runtime side by side.  The flows run sequentially
+(``max_workers=1``) so the runtime column stays comparable method-to-method;
+use ``repro compare`` when wall-clock matters more than the comparison.
 
 Run:  python examples/compare_placers.py [benchmark_name]
+      (equivalent CLI:  repro compare sb_mini_1)
 """
 
 import sys
 
-from repro.baselines import (
-    DifferentiableTDPBaseline,
-    DreamPlace4Baseline,
-    DreamPlaceBaseline,
-)
-from repro.benchgen import benchmark_names, load_benchmark
-from repro.core import EfficientTDPConfig, EfficientTDPlacer
-from repro.evaluation import format_table
-from repro.placement import PlacementConfig
+from repro.benchgen import benchmark_names
+from repro.flow import BatchJob, preset_names, run_batch
 
 
 def main() -> None:
@@ -26,30 +23,18 @@ def main() -> None:
     if name not in benchmark_names():
         raise SystemExit(f"unknown benchmark {name!r}; choose from {benchmark_names()}")
 
-    flows = {
-        "DREAMPlace": lambda d: DreamPlaceBaseline(
-            d, PlacementConfig(max_iterations=450, seed=1)
-        ),
-        "DREAMPlace 4.0": lambda d: DreamPlace4Baseline(d),
-        "Differentiable-TDP": lambda d: DifferentiableTDPBaseline(d),
-        "Efficient-TDP (ours)": lambda d: EfficientTDPlacer(d, EfficientTDPConfig()),
-    }
-
-    rows = []
-    for method, make_flow in flows.items():
-        design = load_benchmark(name)
-        result = make_flow(design).run()
-        ev = result.evaluation
-        rows.append(
-            [method, round(ev.tns, 1), round(ev.wns, 1), round(ev.hpwl, 0),
-             round(result.runtime_seconds, 2)]
+    jobs = [
+        BatchJob(
+            design=name,
+            preset=preset,
+            seed=1 if preset == "dreamplace" else 0,
+            overrides={"max_iterations": 450},
+            label=preset,
         )
-
-    print(format_table(
-        ["Method", "TNS (ps)", "WNS (ps)", "HPWL", "Runtime (s)"],
-        rows,
-        title=f"Timing-driven placement comparison on {name}",
-    ))
+        for preset in preset_names()
+    ]
+    report = run_batch(jobs, max_workers=1)
+    print(report.format_table())
 
 
 if __name__ == "__main__":

@@ -3,8 +3,9 @@
 
 Demonstrates the library's file I/O path (Fig. 1's ".lef/.def/.v/.lib/.sdc
 Input -> ... -> .def Output"): a small pipelined circuit is assembled with the
-netlist API, constrained, placed with Efficient-TDP, and written to disk; the
-DEF is parsed back and re-evaluated to show the round trip is lossless.
+netlist API, constrained, placed through the ``efficient_tdp`` flow preset,
+and written to disk; the DEF is parsed back and re-evaluated to show the
+round trip is lossless.
 
 Run:  python examples/custom_design_flow.py [output_dir]
 """
@@ -12,8 +13,8 @@ Run:  python examples/custom_design_flow.py [output_dir]
 import os
 import sys
 
-from repro.core import EfficientTDPConfig, EfficientTDPlacer
 from repro.evaluation import evaluate_placement
+from repro.flow import build_flow
 from repro.netlist import Design, make_generic_library
 from repro.netlist.parsers import parse_def
 from repro.netlist.writers import write_def, write_lef, write_sdc, write_verilog
@@ -67,12 +68,13 @@ def main() -> None:
     design = build_design(library)
     print("design:", design.summary())
 
-    flow = EfficientTDPlacer(
-        design,
-        EfficientTDPConfig(max_iterations=300, timing_start_iteration=80,
-                           min_timing_iterations=80),
+    runner = build_flow(
+        "efficient_tdp",
+        max_iterations=300,
+        timing_start_iteration=80,
+        min_timing_iterations=80,
     )
-    result = flow.run()
+    result = runner.run(design)
     print("placed:", result.summary())
 
     files = {

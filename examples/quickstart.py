@@ -1,33 +1,31 @@
 #!/usr/bin/env python3
 """Quickstart: timing-driven placement of a synthetic design in ~30 lines.
 
-Generates a small superblue-like design, runs the Efficient-TDP flow
-(wirelength-driven global placement, periodic critical path extraction,
-pin-to-pin attraction with the quadratic loss, Abacus legalization), and
-prints the resulting HPWL / TNS / WNS next to a wirelength-only baseline.
+Generates a small superblue-like design and runs two flow presets through
+the pipeline API (`repro.flow.build_flow`): the wirelength-only DREAMPlace
+baseline and the paper's Efficient-TDP flow (wirelength-driven global
+placement, periodic critical path extraction, pin-to-pin attraction with the
+quadratic loss, Abacus legalization), then prints HPWL / TNS / WNS side by
+side.
 
 Run:  python examples/quickstart.py
+      (or, with the package installed:  repro compare sb_mini_18)
 """
 
-from repro.baselines import DreamPlaceBaseline
-from repro.benchgen import load_benchmark
-from repro.core import EfficientTDPConfig, EfficientTDPlacer
-from repro.placement import PlacementConfig
+from repro import build_flow, load_benchmark
 
 
 def main() -> None:
     name = "sb_mini_18"
 
     # Wirelength-only baseline (DREAMPlace-style).
-    baseline_design = load_benchmark(name)
-    baseline = DreamPlaceBaseline(
-        baseline_design, PlacementConfig(max_iterations=450, seed=1)
-    ).run()
+    baseline = build_flow("dreamplace", max_iterations=450, seed=1).run(
+        load_benchmark(name)
+    )
 
     # The paper's flow: path-level timing feedback + pin-to-pin attraction.
     design = load_benchmark(name)
-    flow = EfficientTDPlacer(design, EfficientTDPConfig(verbose=False))
-    result = flow.run()
+    result = build_flow("efficient_tdp").run(design)
 
     print(f"design: {name}  ({len(design.cells)} cells, "
           f"clock period {design.clock_period:.0f} ps)")
@@ -36,8 +34,8 @@ def main() -> None:
         base_value = getattr(baseline.evaluation, metric)
         ours_value = getattr(result.evaluation, metric)
         print(f"{metric:<10}{base_value:>15.1f}{ours_value:>16.1f}")
-    print(f"pin pairs attracted: {result.num_pin_pairs}")
-    print(f"timing iterations:   {len(result.extraction_stats)}")
+    print(f"pin pairs attracted: {len(result.context.pin_pairs)}")
+    print(f"timing iterations:   {len(result.context.extraction_stats)}")
     print(f"runtime:             {result.runtime_seconds:.1f} s "
           f"(baseline {baseline.runtime_seconds:.1f} s)")
 

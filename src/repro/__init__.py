@@ -12,6 +12,8 @@ the subpackages for the full API:
   style comparison flows.
 * :mod:`repro.benchgen` — synthetic ICCAD-2015-like benchmark generation.
 * :mod:`repro.evaluation` — shared HPWL/TNS/WNS scoring.
+* :mod:`repro.flow` — the composable flow pipeline (stages, presets,
+  concurrent batch runner, and the ``repro`` CLI).
 """
 
 from repro.benchgen import CircuitSpec, generate_circuit, load_benchmark, benchmark_names
@@ -24,11 +26,23 @@ from repro.core import (
     QuadraticLoss,
 )
 from repro.evaluation import Evaluator, evaluate_placement
+from repro.flow import (
+    BatchJob,
+    BatchReport,
+    FlowContext,
+    FlowResult,
+    FlowRunner,
+    available_stages,
+    build_flow,
+    create_stage,
+    preset_names,
+    run_batch,
+)
 from repro.netlist import Design, Library, make_generic_library
 from repro.placement import GlobalPlacer, PlacementConfig, AbacusLegalizer
 from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CircuitSpec",
@@ -43,6 +57,16 @@ __all__ = [
     "QuadraticLoss",
     "Evaluator",
     "evaluate_placement",
+    "BatchJob",
+    "BatchReport",
+    "FlowContext",
+    "FlowResult",
+    "FlowRunner",
+    "available_stages",
+    "build_flow",
+    "create_stage",
+    "preset_names",
+    "run_batch",
     "Design",
     "Library",
     "make_generic_library",

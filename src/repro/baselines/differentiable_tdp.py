@@ -7,10 +7,11 @@ net arcs participate (paths are considered implicitly, no explicit
 extraction), and (b) the timing metric is smoothed, trading accuracy for
 differentiability.
 
-This baseline reproduces those two properties on the shared substrate: every
-``m`` iterations it refreshes STA and rebuilds a pin-pair attraction set over
-*all* net arcs, weighted by a smooth (sigmoid) criticality of the sink pin's
-slack, optimized with a linear Euclidean distance loss.  It is path-free and
+This baseline reproduces those two properties on the shared substrate via
+the ``timing_weight(smooth_pair)`` strategy: every ``m`` iterations it
+refreshes STA and rebuilds a pin-pair attraction set over *all* net arcs,
+weighted by a smooth (sigmoid) criticality of the sink pin's slack,
+optimized with a linear Euclidean distance loss.  It is path-free and
 smooth — accurate enough to beat pure net weighting, but without the
 fine-grained path coverage of explicit extraction, which is where the
 proposed method gains.
@@ -18,24 +19,16 @@ proposed method gains.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
-from repro.baselines.dreamplace import BaselineResult
-from repro.core.losses import LinearLoss
-from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
-from repro.evaluation.evaluator import Evaluator
+from repro.baselines.dreamplace import BaselineResult, baseline_result_from_flow
+from repro.flow.presets import build_stages
+from repro.flow.runner import FlowRunner
 from repro.netlist.design import Design
-from repro.placement.global_placer import GlobalPlacer, PlacementConfig
-from repro.placement.legalization.abacus import AbacusLegalizer
-from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.placement.global_placer import PlacementConfig
 from repro.timing.constraints import TimingConstraints
-from repro.timing.sta import STAEngine
 from repro.utils.profiling import RuntimeProfiler
-from repro.weighting.pin_weighting import smooth_pin_pair_weights
 
 
 @dataclass
@@ -81,74 +74,15 @@ class DifferentiableTDPBaseline:
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
         self.profiler = RuntimeProfiler()
-        with self.profiler.section("io"):
-            self.sta = STAEngine(design, self.constraints)
-        self.pairs = PinPairSet()
-        self.attraction = PinAttractionObjective(
-            design, self.pairs, loss=LinearLoss(), beta=1.0
-        )
-        self._calibrated = False
-
-    def _timing_callback(
-        self, placer: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
-    ) -> None:
-        cfg = self.config
-        if iteration < cfg.timing_start_iteration:
-            return
-        if (iteration - cfg.timing_start_iteration) % cfg.timing_update_interval != 0:
-            return
-        with self.profiler.section("timing_analysis"):
-            result = self.sta.update_timing(x, y)
-        with self.profiler.section("weighting"):
-            weights = smooth_pin_pair_weights(
-                self.design,
-                self.sta.graph,
-                result,
-                temperature=cfg.temperature,
-                threshold=cfg.criticality_threshold,
-            )
-            self.pairs.set_weights(weights)
-            if not self._calibrated and weights:
-                # Per-pair vs per-cell force calibration, matching the scheme
-                # used by EfficientTDPlacer so the comparison is about *which*
-                # pins are attracted, not about force magnitudes.
-                wl = placer.wirelength.evaluate(x, y, net_weights=placer.net_weights)
-                wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
-                num_movable = max(int(self.design.arrays.movable_mask.sum()), 1)
-                pp_norm = self.attraction.gradient_norm(x, y)
-                num_pairs = max(len(self.pairs), 1)
-                if pp_norm > 1e-12 and wl_norm > 1e-12:
-                    self.attraction.weight = (
-                        cfg.attraction_ratio * (wl_norm / num_movable) / (pp_norm / num_pairs)
-                    )
-                    self._calibrated = True
-        placer.reset_optimizer_momentum()
-        placer.history.record_extra("tns", iteration, result.tns)
-        placer.history.record_extra("wns", iteration, result.wns)
 
     def run(self) -> BaselineResult:
-        start = time.perf_counter()
-        placer = GlobalPlacer(
-            self.design, self.config.placement_config(), profiler=self.profiler
+        runner = FlowRunner(
+            build_stages("differentiable_tdp", self.config), name="differentiable_tdp"
         )
-        placer.add_objective_term(self.attraction)
-        placer.add_callback(self._timing_callback)
-        placement = placer.run()
-        x, y = placement.x, placement.y
-        with self.profiler.section("legalization"):
-            legal = AbacusLegalizer(self.design).legalize(x, y)
-            if not legal.success:
-                legal = GreedyLegalizer(self.design).legalize(x, y)
-            x, y = legal.x, legal.y
-            self.design.set_positions(x, y)
-        with self.profiler.section("io"):
-            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
-        return BaselineResult(
-            x=x,
-            y=y,
-            evaluation=evaluation,
-            placement=placement,
-            history=placement.history,
+        result = runner.run(
+            self.design,
+            constraints=self.constraints,
+            seed=self.config.seed,
             profiler=self.profiler,
-            runtime_seconds=time.perf_counter() - start,
         )
+        return baseline_result_from_flow(result)

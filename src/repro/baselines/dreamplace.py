@@ -1,26 +1,34 @@
-"""Wirelength-driven baseline (DREAMPlace without any timing feedback)."""
+"""Wirelength-driven baseline (DREAMPlace without any timing feedback).
+
+Composed from the flow pipeline: an optional record-only timing stage (for
+trajectory plots), global placement, legalization, evaluation.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, fields
+from typing import Optional
 
 import numpy as np
 
-from repro.evaluation.evaluator import EvaluationReport, Evaluator
+from repro.evaluation.evaluator import EvaluationReport
+from repro.flow.presets import build_stages
+from repro.flow.runner import FlowRunner
 from repro.netlist.design import Design
 from repro.placement.global_placer import (
-    GlobalPlacer,
     PlacementConfig,
     PlacementHistory,
     PlacementResult,
 )
-from repro.placement.legalization.abacus import AbacusLegalizer
-from repro.placement.legalization.greedy import GreedyLegalizer
 from repro.timing.constraints import TimingConstraints
-from repro.timing.sta import STAEngine
 from repro.utils.profiling import RuntimeProfiler
+
+
+@dataclass
+class DreamPlaceConfig(PlacementConfig):
+    """Placement config plus the optional TNS/WNS recording interval."""
+
+    record_timing_every: Optional[int] = None
 
 
 @dataclass
@@ -46,6 +54,20 @@ class BaselineResult:
         }
 
 
+def baseline_result_from_flow(result) -> BaselineResult:
+    """Adapt a :class:`repro.flow.runner.FlowResult` to the legacy shape."""
+    ctx = result.context
+    return BaselineResult(
+        x=result.x,
+        y=result.y,
+        evaluation=ctx.evaluation,
+        placement=ctx.placement,
+        history=ctx.history,
+        profiler=ctx.profiler,
+        runtime_seconds=result.runtime_seconds,
+    )
+
+
 class DreamPlaceBaseline:
     """Plain wirelength + density global placement, then legalization."""
 
@@ -63,41 +85,30 @@ class DreamPlaceBaseline:
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
         self.profiler = RuntimeProfiler()
-        self.record_timing_every = record_timing_every
-        self._sta: Optional[STAEngine] = None
+        # The explicit parameter wins when given: 0 disables recording even
+        # if the config enables it; None (also the not-passed value) defers
+        # to the config field.
+        self.record_timing_every = (
+            record_timing_every
+            if record_timing_every is not None
+            else getattr(self.config, "record_timing_every", None)
+        )
 
     def run(self) -> BaselineResult:
-        start = time.perf_counter()
-        placer = GlobalPlacer(self.design, self.config, profiler=self.profiler)
-        if self.record_timing_every:
-            self._sta = STAEngine(self.design, self.constraints)
-            interval = self.record_timing_every
-
-            def record(placer_obj: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray) -> None:
-                if iteration % interval != 0:
-                    return
-                result = self._sta.update_timing(x, y)
-                placer_obj.history.record_extra("tns", iteration, result.tns)
-                placer_obj.history.record_extra("wns", iteration, result.wns)
-
-            placer.add_callback(record)
-
-        placement = placer.run()
-        x, y = placement.x, placement.y
-        with self.profiler.section("legalization"):
-            legal = AbacusLegalizer(self.design).legalize(x, y)
-            if not legal.success:
-                legal = GreedyLegalizer(self.design).legalize(x, y)
-            x, y = legal.x, legal.y
-            self.design.set_positions(x, y)
-        with self.profiler.section("io"):
-            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
-        return BaselineResult(
-            x=x,
-            y=y,
-            evaluation=evaluation,
-            placement=placement,
-            history=placement.history,
+        config = self.config
+        if getattr(config, "record_timing_every", None) != self.record_timing_every:
+            # Lift a plain PlacementConfig (or a disagreeing DreamPlaceConfig)
+            # into one carrying the effective recording interval, so the
+            # preset remains the single source of the stage composition.
+            config = DreamPlaceConfig(
+                **{f.name: getattr(config, f.name) for f in fields(PlacementConfig)},
+                record_timing_every=self.record_timing_every,
+            )
+        runner = FlowRunner(build_stages("dreamplace", config), name="dreamplace")
+        result = runner.run(
+            self.design,
+            constraints=self.constraints,
+            seed=self.config.seed,
             profiler=self.profiler,
-            runtime_seconds=time.perf_counter() - start,
         )
+        return baseline_result_from_flow(result)

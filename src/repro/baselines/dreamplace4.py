@@ -8,27 +8,22 @@ their cells together through the ordinary weighted-wirelength gradient.
 
 This class also serves as the paper's "w/o Path Extraction" ablation arm,
 which replaces path-level extraction with exactly this pin-level,
-momentum-weighted scheme.
+momentum-weighted scheme.  The flow itself is a pipeline composition:
+``timing_weight(net_weight) -> global_place -> legalize -> evaluate``.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
-from repro.baselines.dreamplace import BaselineResult
-from repro.evaluation.evaluator import Evaluator
+from repro.baselines.dreamplace import BaselineResult, baseline_result_from_flow
+from repro.flow.presets import build_stages
+from repro.flow.runner import FlowRunner
 from repro.netlist.design import Design
-from repro.placement.global_placer import GlobalPlacer, PlacementConfig
-from repro.placement.legalization.abacus import AbacusLegalizer
-from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.placement.global_placer import PlacementConfig
 from repro.timing.constraints import TimingConstraints
-from repro.timing.sta import STAEngine
 from repro.utils.profiling import RuntimeProfiler
-from repro.weighting.net_weighting import MomentumNetWeighting
 
 
 @dataclass
@@ -78,53 +73,15 @@ class DreamPlace4Baseline:
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
         self.profiler = RuntimeProfiler()
-        with self.profiler.section("io"):
-            self.sta = STAEngine(design, self.constraints)
-        self.weighting = MomentumNetWeighting(
-            decay=self.config.momentum_decay,
-            max_boost=self.config.max_boost,
-            max_weight=self.config.max_weight,
-        )
-
-    def _timing_callback(
-        self, placer: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
-    ) -> None:
-        cfg = self.config
-        if iteration < cfg.timing_start_iteration:
-            return
-        if (iteration - cfg.timing_start_iteration) % cfg.timing_update_interval != 0:
-            return
-        with self.profiler.section("timing_analysis"):
-            result = self.sta.update_timing(x, y)
-        with self.profiler.section("weighting"):
-            new_weights = self.weighting.update(self.design, result, placer.net_weights)
-            placer.set_net_weights(new_weights)
-        placer.reset_optimizer_momentum()
-        placer.history.record_extra("tns", iteration, result.tns)
-        placer.history.record_extra("wns", iteration, result.wns)
 
     def run(self) -> BaselineResult:
-        start = time.perf_counter()
-        placer = GlobalPlacer(
-            self.design, self.config.placement_config(), profiler=self.profiler
+        runner = FlowRunner(
+            build_stages("dreamplace4", self.config), name="dreamplace4"
         )
-        placer.add_callback(self._timing_callback)
-        placement = placer.run()
-        x, y = placement.x, placement.y
-        with self.profiler.section("legalization"):
-            legal = AbacusLegalizer(self.design).legalize(x, y)
-            if not legal.success:
-                legal = GreedyLegalizer(self.design).legalize(x, y)
-            x, y = legal.x, legal.y
-            self.design.set_positions(x, y)
-        with self.profiler.section("io"):
-            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
-        return BaselineResult(
-            x=x,
-            y=y,
-            evaluation=evaluation,
-            placement=placement,
-            history=placement.history,
+        result = runner.run(
+            self.design,
+            constraints=self.constraints,
+            seed=self.config.seed,
             profiler=self.profiler,
-            runtime_seconds=time.perf_counter() - start,
         )
+        return baseline_result_from_flow(result)

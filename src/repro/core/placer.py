@@ -1,6 +1,7 @@
-"""The Efficient-TDP flow (Fig. 1 of the paper).
+"""The Efficient-TDP flow (Fig. 1 of the paper) as a pipeline preset.
 
-The flow wires together the substrates:
+The flow wires together the substrates through the composable pipeline in
+:mod:`repro.flow`:
 
 1. run DREAMPlace-style nonlinear global placement (wirelength + density);
 2. once the cell distribution has stabilized (``timing_start_iteration``),
@@ -12,6 +13,10 @@ The flow wires together the substrates:
    together during the remaining iterations;
 4. Abacus legalization, then evaluation with the shared evaluator.
 
+:class:`EfficientTDPlacer` is a thin wrapper over the ``efficient_tdp``
+preset (``repro.flow.presets.build_flow("efficient_tdp", ...)``); the stage
+implementations live in :mod:`repro.flow.stages`.
+
 Hyper-parameter defaults follow Sec. IV: ``beta = 2.5e-5`` (with an optional
 automatic rescaling because the absolute value is engine-specific), ``m =
 15``, ``w0 = 10``, ``w1 = 0.2``.
@@ -19,28 +24,21 @@ automatic rescaling because the absolute value is engine-specific), ``m =
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
-from repro.core.losses import make_loss
-from repro.core.path_extraction import CriticalPathExtractor, ExtractionConfig
-from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
-from repro.evaluation.evaluator import EvaluationReport, Evaluator
+from repro.core.path_extraction import ExtractionConfig
+from repro.evaluation.evaluator import EvaluationReport
 from repro.netlist.design import Design
 from repro.placement.global_placer import (
-    GlobalPlacer,
     PlacementConfig,
     PlacementHistory,
     PlacementResult,
 )
-from repro.placement.legalization.abacus import AbacusLegalizer
-from repro.placement.legalization.greedy import GreedyLegalizer
 from repro.timing.constraints import TimingConstraints
 from repro.timing.report import PathExtractionStats
-from repro.timing.sta import STAEngine
 from repro.utils.logging import get_logger
 from repro.utils.profiling import RuntimeProfiler
 
@@ -67,6 +65,9 @@ class EfficientTDPConfig:
     w1: float = 0.2
     loss: str = "quadratic"
     extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    # STA engine mode between timing iterations (exact with tolerance 0).
+    incremental_sta: bool = False
+    sta_move_tolerance: float = 0.0
     # Post-processing.
     legalize: bool = True
     verbose: bool = False
@@ -109,7 +110,13 @@ class TDPResult:
 
 
 class EfficientTDPlacer:
-    """Timing-driven global placement by efficient critical path extraction."""
+    """Timing-driven global placement by efficient critical path extraction.
+
+    A thin preset over the flow pipeline: the constructor expands the config
+    into the ``efficient_tdp`` stage list (timing-weight -> global-place ->
+    legalize -> evaluate) and :meth:`run` executes it with a
+    :class:`repro.flow.runner.FlowRunner`.
+    """
 
     def __init__(
         self,
@@ -118,115 +125,42 @@ class EfficientTDPlacer:
         *,
         constraints: Optional[TimingConstraints] = None,
     ) -> None:
+        # Imported here: repro.core loads before repro.flow in the package
+        # import order, so the flow modules cannot be module-level imports.
+        from repro.flow.presets import build_stages
+        from repro.flow.runner import FlowRunner
+        from repro.flow.stages import TimingWeightStage
+
         self.design = design
         self.config = config if config is not None else EfficientTDPConfig()
         self.constraints = (
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
         self.profiler = RuntimeProfiler()
-
-        with self.profiler.section("io"):
-            self.sta = STAEngine(design, self.constraints)
-            self.extractor = CriticalPathExtractor(self.sta, self.config.extraction)
-            self.pairs = PinPairSet(w0=self.config.w0, w1=self.config.w1)
-            self.attraction = PinAttractionObjective(
-                design,
-                self.pairs,
-                loss=make_loss(self.config.loss),
-                beta=self.config.beta,
-            )
-            self.placer = GlobalPlacer(
-                design, self.config.placement_config(), profiler=self.profiler
-            )
-            self.placer.add_objective_term(self.attraction)
-            self.placer.add_callback(self._timing_callback)
-        self._beta_calibrated = self.config.beta_mode != "auto"
-        self._timing_rounds = 0
-
-    # ------------------------------------------------------------------
-    def _timing_callback(
-        self, placer: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
-    ) -> None:
-        cfg = self.config
-        if iteration < cfg.timing_start_iteration:
-            return
-        if (iteration - cfg.timing_start_iteration) % cfg.timing_update_interval != 0:
-            return
-        with self.profiler.section("timing_analysis"):
-            result = self.sta.update_timing(x, y)
-            paths, _stats = self.extractor.extract(result)
-        with self.profiler.section("weighting"):
-            self.pairs.update_from_paths(paths, self.sta.graph, result.wns)
-            if not self._beta_calibrated and len(self.pairs) > 0:
-                self._calibrate_beta(placer, x, y)
-        # The objective just changed; momentum accumulated under the previous
-        # objective is stale and can destabilize the Nesterov iteration.
-        placer.reset_optimizer_momentum()
-        self._timing_rounds += 1
-        placer.history.record_extra("tns", iteration, result.tns)
-        placer.history.record_extra("wns", iteration, result.wns)
-        if cfg.verbose:
-            logger.info(
-                "timing iter %d: tns=%.1f wns=%.1f pairs=%d",
-                iteration,
-                result.tns,
-                result.wns,
-                len(self.pairs),
-            )
-
-    def _calibrate_beta(self, placer: GlobalPlacer, x: np.ndarray, y: np.ndarray) -> None:
-        """Scale beta so the *average per-pair* attraction force is a fixed
-        fraction of the *average per-cell* wirelength force.
-
-        The paper's absolute ``beta = 2.5e-5`` is tied to DREAMPlace's
-        internal gradient scaling; reproducing the relative strength of the
-        two forces is what transfers across engines.  Normalizing per pair /
-        per cell keeps the calibration independent of how many pairs have
-        been extracted so far.
-        """
-        wl = placer.wirelength.evaluate(x, y, net_weights=placer.net_weights)
-        wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
-        num_movable = max(int(self.design.arrays.movable_mask.sum()), 1)
-        pp_norm = self.attraction.gradient_norm(x, y)
-        num_pairs = max(len(self.pairs), 1)
-        if pp_norm > 1e-12 and wl_norm > 1e-12:
-            per_cell_wl = wl_norm / num_movable
-            per_pair_pp = pp_norm / num_pairs
-            self.attraction.weight = self.config.beta_auto_ratio * per_cell_wl / per_pair_pp
-            self._beta_calibrated = True
-            logger.debug("calibrated beta to %.3e", self.attraction.weight)
+        self.stages = build_stages("efficient_tdp", self.config)
+        self.runner = FlowRunner(self.stages, name="efficient_tdp")
+        self.strategy = next(
+            stage.strategy for stage in self.stages if isinstance(stage, TimingWeightStage)
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> TDPResult:
         """Run the full flow and return the evaluated placement."""
-        start = time.perf_counter()
-        placement = self.placer.run()
-        x, y = placement.x, placement.y
-
-        if self.config.legalize:
-            with self.profiler.section("legalization"):
-                legalizer = AbacusLegalizer(self.design)
-                legal = legalizer.legalize(x, y)
-                if not legal.success:
-                    logger.warning(
-                        "Abacus failed to place %d cells; falling back to greedy",
-                        legal.num_failed,
-                    )
-                    legal = GreedyLegalizer(self.design).legalize(x, y)
-                x, y = legal.x, legal.y
-                self.design.set_positions(x, y)
-
-        with self.profiler.section("io"):
-            evaluation = Evaluator(self.design, self.constraints).evaluate(x, y)
-        runtime = time.perf_counter() - start
-        return TDPResult(
-            x=x,
-            y=y,
-            evaluation=evaluation,
-            placement=placement,
-            history=placement.history,
-            extraction_stats=list(self.extractor.history),
+        result = self.runner.run(
+            self.design,
+            constraints=self.constraints,
+            seed=self.config.seed,
             profiler=self.profiler,
-            runtime_seconds=runtime,
-            num_pin_pairs=len(self.pairs),
+        )
+        ctx = result.context
+        return TDPResult(
+            x=result.x,
+            y=result.y,
+            evaluation=ctx.evaluation,
+            placement=ctx.placement,
+            history=ctx.history,
+            extraction_stats=list(ctx.extraction_stats),
+            profiler=self.profiler,
+            runtime_seconds=result.runtime_seconds,
+            num_pin_pairs=len(ctx.pin_pairs) if ctx.pin_pairs is not None else 0,
         )

@@ -1,0 +1,246 @@
+"""Concurrent multi-design flow execution with aggregated reporting.
+
+A :class:`BatchJob` names a benchmark, a flow preset, a seed, and optional
+config overrides; :func:`run_batch` fans the jobs out over a
+``concurrent.futures`` pool and folds the per-design summaries into a
+:class:`BatchReport`.  Jobs are independent (each worker generates its own
+copy of the design), so both thread pools (default; the numpy kernels drop
+the GIL for the heavy parts) and process pools (fully parallel Python) work.
+
+Failures are contained: a job that raises is reported with its error string
+instead of aborting the batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.benchgen.suite import load_benchmark
+from repro.utils.logging import get_logger
+
+logger = get_logger("flow.batch")
+
+
+@dataclass
+class BatchJob:
+    """One design x preset x seed cell of a batch run."""
+
+    design: str
+    preset: str = "efficient_tdp"
+    seed: int = 0
+    scale: float = 1.0
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def resolved_label(self) -> str:
+        if self.label:
+            return self.label
+        tag = f"{self.design}:{self.preset}:s{self.seed}"
+        if self.scale != 1.0:
+            tag += f":x{self.scale:g}"
+        return tag
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one job: a summary dict, or an error string."""
+
+    label: str
+    design: str
+    preset: str
+    seed: int
+    scale: float
+    runtime_seconds: float
+    summary: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "design": self.design,
+            "preset": self.preset,
+            "seed": self.seed,
+            "scale": self.scale,
+            "runtime_sec": round(self.runtime_seconds, 3),
+            "summary": self.summary,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a :func:`run_batch` call."""
+
+    items: List[BatchItemResult]
+    total_runtime_seconds: float
+    max_workers: int
+    executor: str
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.items) - self.num_ok
+
+    def aggregate(self) -> Dict[str, Any]:
+        """Design-count, mean metrics overall and per preset."""
+
+        def metrics_of(items: Sequence[BatchItemResult]) -> Dict[str, float]:
+            rows = [item.summary for item in items if item.ok and item.summary]
+            out: Dict[str, float] = {"runs": float(len(rows))}
+            for key in ("hpwl", "tns", "wns", "runtime_sec"):
+                values = [row[key] for row in rows if key in row]
+                if values:
+                    out[f"mean_{key}"] = sum(values) / len(values)
+            tns_values = [row["tns"] for row in rows if "tns" in row]
+            if tns_values:
+                out["total_tns"] = sum(tns_values)
+            return out
+
+        by_preset: Dict[str, Dict[str, float]] = {}
+        for preset in sorted({item.preset for item in self.items}):
+            by_preset[preset] = metrics_of([i for i in self.items if i.preset == preset])
+        return {
+            "jobs": len(self.items),
+            "ok": self.num_ok,
+            "failed": self.num_failed,
+            "wall_seconds": round(self.total_runtime_seconds, 3),
+            "cpu_seconds": round(sum(i.runtime_seconds for i in self.items), 3),
+            "overall": metrics_of(self.items),
+            "by_preset": by_preset,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "max_workers": self.max_workers,
+            "executor": self.executor,
+            "aggregate": self.aggregate(),
+            "items": [item.as_dict() for item in self.items],
+        }
+
+    def to_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2)
+        return path
+
+    def format_table(self) -> str:
+        from repro.evaluation.metrics import format_table
+
+        rows = []
+        for item in self.items:
+            if item.ok and item.summary:
+                rows.append([
+                    item.label,
+                    round(item.summary.get("tns", 0.0), 1),
+                    round(item.summary.get("wns", 0.0), 1),
+                    round(item.summary.get("hpwl", 0.0), 0),
+                    round(item.summary.get("runtime_sec", 0.0), 2),
+                ])
+            else:
+                rows.append([item.label, "ERROR", "-", "-", round(item.runtime_seconds, 2)])
+        return format_table(
+            ["Job", "TNS (ps)", "WNS (ps)", "HPWL", "Runtime (s)"],
+            rows,
+            title=f"Batch: {self.num_ok}/{len(self.items)} ok, "
+            f"wall {self.total_runtime_seconds:.1f}s "
+            f"({self.executor} x{self.max_workers})",
+        )
+
+
+def run_job(job: BatchJob) -> BatchItemResult:
+    """Execute one batch job in the current process/thread."""
+    from repro.flow.presets import build_flow
+
+    label = job.resolved_label()
+    start = time.perf_counter()
+    try:
+        _check_job_seed(job)
+        design = load_benchmark(job.design, scale=job.scale)
+        overrides = dict(job.overrides)
+        overrides["seed"] = job.seed
+        runner = build_flow(job.preset, **overrides)
+        result = runner.run(design, seed=job.seed)
+        summary = result.summary()
+        return BatchItemResult(
+            label=label,
+            design=job.design,
+            preset=job.preset,
+            seed=job.seed,
+            scale=job.scale,
+            runtime_seconds=time.perf_counter() - start,
+            summary=summary,
+        )
+    except Exception:  # noqa: BLE001 - contained per-job failure
+        logger.exception("batch job %s failed", label)
+        return BatchItemResult(
+            label=label,
+            design=job.design,
+            preset=job.preset,
+            seed=job.seed,
+            scale=job.scale,
+            runtime_seconds=time.perf_counter() - start,
+            error=traceback.format_exc(limit=8),
+        )
+
+
+def _check_job_seed(job: BatchJob) -> None:
+    """``job.seed`` is authoritative (labels and the report quote it); a
+    disagreeing ``overrides['seed']`` would silently desynchronize them."""
+    if "seed" in job.overrides and job.overrides["seed"] != job.seed:
+        raise ValueError(
+            f"BatchJob {job.resolved_label()}: "
+            f"overrides['seed']={job.overrides['seed']!r} conflicts with "
+            f"job.seed={job.seed}; set BatchJob.seed instead"
+        )
+
+
+def _make_executor(kind: str, max_workers: int) -> Executor:
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if kind == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    raise ValueError(f"executor must be 'thread' or 'process', got {kind!r}")
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    *,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> BatchReport:
+    """Run every job concurrently and aggregate a :class:`BatchReport`.
+
+    ``executor="thread"`` (default) shares the process; ``"process"`` forks
+    workers (jobs are plain dataclasses, so they pickle cleanly).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise ValueError("run_batch needs at least one job")
+    for job in jobs:
+        # Validate up front: a malformed job should fail the batch before
+        # any compute is spent, not after every other job has finished.
+        _check_job_seed(job)
+    if max_workers is None:
+        max_workers = min(len(jobs), os.cpu_count() or 4)
+    max_workers = max(1, int(max_workers))
+    start = time.perf_counter()
+    with _make_executor(executor, max_workers) as pool:
+        items = list(pool.map(run_job, jobs))
+    return BatchReport(
+        items=items,
+        total_runtime_seconds=time.perf_counter() - start,
+        max_workers=max_workers,
+        executor=executor,
+    )

@@ -1,0 +1,293 @@
+"""The ``repro`` command-line interface.
+
+Four subcommands over the flow pipeline:
+
+* ``repro run DESIGN``      — run one preset on one benchmark;
+* ``repro batch D1 D2 ...`` — run many designs concurrently (``--all`` for
+  the whole sb_mini suite, ``--seeds N`` for seed replicates);
+* ``repro compare DESIGN``  — run every preset on one design, side by side;
+* ``repro sweep DESIGN --param loss --values quadratic,linear`` — sweep one
+  config field of a preset.
+
+Config fields are overridden with repeated ``--set key=value`` flags (values
+are parsed as int/float/bool when they look like one).  Every subcommand can
+emit machine-readable JSON with ``--json PATH``.
+
+Examples::
+
+    repro run sb_mini_18 --preset efficient_tdp --set max_iterations=300
+    repro batch --all --preset dreamplace4 --jobs 4 --json batch.json
+    repro compare sb_mini_1 --scale 0.5
+    repro sweep sb_mini_4 --param w0 --values 5,10,20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.benchgen.suite import benchmark_names
+from repro.flow.batch import BatchJob, run_batch
+from repro.flow.presets import preset_names
+
+
+def _parse_value(text: str) -> Any:
+    lowered = text.lower()
+    if lowered in {"true", "false"}:
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = _parse_value(value.strip())
+    if "seed" in overrides:
+        raise SystemExit("use --seed (and --seeds for replicates) instead of --set seed=...")
+    return overrides
+
+
+def _check_designs(names: Sequence[str]) -> None:
+    known = set(benchmark_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(benchmark_names())}"
+        )
+
+
+def _emit_json(payload: Any, path: Optional[str]) -> None:
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {path}")
+
+
+def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None:
+    if preset:
+        parser.add_argument(
+            "--preset",
+            default="efficient_tdp",
+            choices=preset_names(),
+            help="flow preset (default: efficient_tdp)",
+        )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="benchmark size multiplier"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a preset config field (repeatable)",
+    )
+    parser.add_argument("--json", dest="json_path", help="write a JSON report here")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient-TDP reproduction: composable placement flows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one flow preset on one benchmark")
+    run_p.add_argument("design", help="benchmark name (see `repro batch --all`)")
+    _add_common(run_p)
+
+    batch_p = sub.add_parser("batch", help="run many designs concurrently")
+    batch_p.add_argument("designs", nargs="*", help="benchmark names")
+    batch_p.add_argument("--all", action="store_true", help="use the full sb_mini suite")
+    batch_p.add_argument("--jobs", type=int, default=4, help="worker count (default 4)")
+    batch_p.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="concurrency backend (default: thread)",
+    )
+    batch_p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="seed replicates per design (seeds seed..seed+N-1)",
+    )
+    _add_common(batch_p)
+
+    cmp_p = sub.add_parser("compare", help="run every preset on one benchmark")
+    cmp_p.add_argument("design", help="benchmark name")
+    cmp_p.add_argument("--jobs", type=int, default=4, help="worker count (default 4)")
+    _add_common(cmp_p, preset=False)
+
+    sweep_p = sub.add_parser("sweep", help="sweep one config field of a preset")
+    sweep_p.add_argument("design", help="benchmark name")
+    sweep_p.add_argument("--param", required=True, help="config field to sweep")
+    sweep_p.add_argument(
+        "--values", required=True, help="comma-separated values for --param"
+    )
+    sweep_p.add_argument("--jobs", type=int, default=4, help="worker count (default 4)")
+    _add_common(sweep_p)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.benchgen.suite import load_benchmark
+    from repro.flow.presets import build_flow
+
+    _check_designs([args.design])
+    overrides = _parse_overrides(args.overrides)
+    overrides.setdefault("seed", args.seed)
+    design = load_benchmark(args.design, scale=args.scale)
+    try:
+        runner = build_flow(args.preset, **overrides)
+    except AttributeError as exc:
+        raise SystemExit(f"repro run: {exc}") from exc
+    result = runner.run(design, seed=int(overrides["seed"]))
+    summary = result.summary()
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        print(f"{key:<{width}}  {value}")
+    _emit_json(summary, args.json_path)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    designs = benchmark_names() if getattr(args, "all") else list(args.designs)
+    if not designs:
+        raise SystemExit("repro batch: name at least one design or pass --all")
+    _check_designs(designs)
+    overrides = _parse_overrides(args.overrides)
+    jobs = [
+        BatchJob(
+            design=design,
+            preset=args.preset,
+            seed=args.seed + replicate,
+            scale=args.scale,
+            overrides=dict(overrides),
+        )
+        for design in designs
+        for replicate in range(max(1, args.seeds))
+    ]
+    report = run_batch(jobs, max_workers=args.jobs, executor=args.executor)
+    print(report.format_table())
+    _emit_json(report.as_dict(), args.json_path)
+    return 0 if report.num_failed == 0 else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.flow.presets import get_preset
+
+    _check_designs([args.design])
+    overrides = _parse_overrides(args.overrides)
+    jobs = []
+    applied_keys = set()
+    for preset in preset_names():
+        # Preset configs are heterogeneous; apply each override only where
+        # the field exists (e.g. the timing schedule is meaningless for the
+        # wirelength-only baseline).
+        default_config = get_preset(preset).default_config()
+        applicable = {
+            key: value for key, value in overrides.items() if hasattr(default_config, key)
+        }
+        applied_keys.update(applicable)
+        jobs.append(
+            BatchJob(
+                design=args.design,
+                preset=preset,
+                seed=args.seed,
+                scale=args.scale,
+                overrides=applicable,
+                label=preset,
+            )
+        )
+    unused = set(overrides) - applied_keys
+    if unused:
+        raise SystemExit(
+            f"repro compare: --set key(s) {', '.join(sorted(unused))} match no "
+            "preset config field (typo?)"
+        )
+    report = run_batch(jobs, max_workers=args.jobs)
+    print(report.format_table())
+    _emit_json(report.as_dict(), args.json_path)
+    return 0 if report.num_failed == 0 else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.flow.presets import get_preset
+
+    _check_designs([args.design])
+    overrides = _parse_overrides(args.overrides)
+    default_config = get_preset(args.preset).default_config()
+    if args.param != "seed" and not hasattr(default_config, args.param):
+        raise SystemExit(
+            f"repro sweep: {type(default_config).__name__} has no field "
+            f"{args.param!r} (preset {args.preset!r})"
+        )
+    values = [_parse_value(value.strip()) for value in args.values.split(",") if value.strip()]
+    if not values:
+        raise SystemExit("repro sweep: --values produced an empty list")
+    jobs = []
+    for value in values:
+        point = dict(overrides)
+        point[args.param] = value
+        if args.param == "seed":
+            # Seeds are swept through BatchJob.seed so labels and the report
+            # stay in sync (overrides carrying a different seed are rejected
+            # by the batch runner).
+            if not isinstance(value, int):
+                raise SystemExit(
+                    f"repro sweep: seed values must be integers, got {value!r}"
+                )
+            jobs.append(
+                BatchJob(
+                    design=args.design,
+                    preset=args.preset,
+                    seed=value,
+                    scale=args.scale,
+                    overrides=dict(overrides),
+                    label=f"seed={value}",
+                )
+            )
+            continue
+        jobs.append(
+            BatchJob(
+                design=args.design,
+                preset=args.preset,
+                seed=args.seed,
+                scale=args.scale,
+                overrides=point,
+                label=f"{args.param}={value}",
+            )
+        )
+    report = run_batch(jobs, max_workers=args.jobs)
+    print(report.format_table())
+    _emit_json(report.as_dict(), args.json_path)
+    return 0 if report.num_failed == 0 else 1
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "batch": _cmd_batch,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

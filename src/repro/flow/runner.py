@@ -1,0 +1,157 @@
+"""Execute a stage list over one design and collect the results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.flow.context import FlowContext
+from repro.flow.stage import FlowStage
+from repro.netlist.design import Design
+from repro.timing.constraints import TimingConstraints
+from repro.utils.logging import get_logger
+from repro.utils.profiling import RuntimeProfiler
+
+logger = get_logger("flow.runner")
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one :meth:`FlowRunner.run` call."""
+
+    context: FlowContext
+    runtime_seconds: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    flow_name: str = "custom"
+
+    # Convenience accessors mirroring the legacy result objects.
+    @property
+    def x(self) -> np.ndarray:
+        x, _ = self.context.positions()
+        return x
+
+    @property
+    def y(self) -> np.ndarray:
+        _, y = self.context.positions()
+        return y
+
+    @property
+    def evaluation(self):
+        return self.context.evaluation
+
+    @property
+    def placement(self):
+        return self.context.placement
+
+    @property
+    def history(self):
+        return self.context.history
+
+    @property
+    def profiler(self) -> RuntimeProfiler:
+        return self.context.profiler
+
+    def summary(self) -> dict:
+        """Flat dict of the headline metrics (JSON-friendly)."""
+        out: dict = {
+            "design": self.context.design.name,
+            "flow": self.flow_name,
+            "seed": self.context.seed,
+            "runtime_sec": round(self.runtime_seconds, 3),
+        }
+        if self.context.evaluation is not None:
+            ev = self.context.evaluation
+            out.update(
+                hpwl=ev.hpwl,
+                tns=ev.tns,
+                wns=ev.wns,
+                failing_endpoints=ev.num_failing_endpoints,
+                overlap_area=ev.overlap_area,
+                out_of_die_cells=ev.out_of_die_cells,
+            )
+        if self.context.placement is not None:
+            out["iterations"] = self.context.placement.iterations
+            out["converged"] = self.context.placement.converged
+        if self.context.pin_pairs is not None:
+            out["pin_pairs"] = len(self.context.pin_pairs)
+        if "legalization" in self.context.metadata:
+            out["legalizer"] = self.context.metadata["legalization"]["engine"]
+        return out
+
+
+class FlowRunner:
+    """Run an ordered list of stages over a design.
+
+    The runner owns no placement logic itself: it builds the
+    :class:`FlowContext`, executes each stage in order, and times them.
+    Compose stages directly or via :mod:`repro.flow.presets`.
+    """
+
+    def __init__(self, stages: Sequence[FlowStage], *, name: str = "custom") -> None:
+        self.stages: List[FlowStage] = list(stages)
+        self.name = name
+        if not self.stages:
+            raise ValueError("A flow needs at least one stage")
+
+    def _stage_config_seed(self) -> Optional[int]:
+        for stage in self.stages:
+            config = getattr(stage, "config", None)
+            if config is not None and hasattr(config, "seed"):
+                return int(config.seed)
+        return None
+
+    def run(
+        self,
+        design: Design,
+        *,
+        constraints: Optional[TimingConstraints] = None,
+        seed: Optional[int] = None,
+        profiler: Optional[RuntimeProfiler] = None,
+    ) -> FlowResult:
+        """Execute every stage and return the accumulated result.
+
+        The RNG seed lives in the stage configs (the placement stage reads
+        ``config.seed``); by default it is picked up from there so the
+        result's reported seed is the one actually used.  Passing ``seed``
+        explicitly is a cross-check: a value disagreeing with the stage
+        config raises instead of silently labeling the run with a seed that
+        never seeded anything.
+        """
+        config_seed = self._stage_config_seed()
+        if seed is None:
+            seed = config_seed if config_seed is not None else 0
+        elif config_seed is not None and seed != config_seed:
+            raise ValueError(
+                f"run(seed={seed}) conflicts with the placement stage's "
+                f"config.seed={config_seed}; set the seed through the "
+                "stage/preset config (e.g. build_flow(..., seed=...))"
+            )
+        ctx = FlowContext(
+            design=design,
+            constraints=(
+                constraints
+                if constraints is not None
+                else TimingConstraints.from_design(design)
+            ),
+            profiler=profiler if profiler is not None else RuntimeProfiler(),
+            seed=seed,
+        )
+        stage_seconds: Dict[str, float] = {}
+        start = time.perf_counter()
+        for stage in self.stages:
+            stage_start = time.perf_counter()
+            logger.debug("flow %s: running stage %s", self.name, stage.name)
+            stage.run(ctx)
+            stage_seconds[stage.name] = (
+                stage_seconds.get(stage.name, 0.0) + time.perf_counter() - stage_start
+            )
+        runtime = time.perf_counter() - start
+        return FlowResult(
+            context=ctx,
+            runtime_seconds=runtime,
+            stage_seconds=stage_seconds,
+            flow_name=self.name,
+        )

@@ -1,0 +1,445 @@
+"""Concrete flow stages and the timing-feedback strategies they host.
+
+The four stages re-express the monolithic Efficient-TDP flow (Fig. 1 of the
+paper) as composable steps:
+
+* :class:`TimingWeightStage` — configures periodic timing feedback.  It runs
+  *before* global placement in the stage list because timing feedback hooks
+  into the placement loop: the stage builds its STA engine and objective and
+  registers a placer hook; the hook attaches objective terms and the
+  per-iteration callback when :class:`GlobalPlaceStage` constructs the
+  placer.  The actual strategy (path extraction + pin pairs, momentum net
+  weighting, smoothed pin weighting, or record-only) is pluggable.
+* :class:`GlobalPlaceStage` — nonlinear wirelength/density placement.
+* :class:`LegalizeStage` — Abacus with automatic greedy fallback.
+* :class:`EvaluateStage` — shared HPWL/TNS/WNS scoring.
+
+Every stage is registered in the stage registry, so flows can be assembled
+by name (see :mod:`repro.flow.presets` and the ``repro`` CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.core.losses import LinearLoss, make_loss
+from repro.core.path_extraction import CriticalPathExtractor, ExtractionConfig
+from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
+from repro.evaluation.evaluator import Evaluator
+from repro.flow.context import FlowContext
+from repro.flow.stage import register_stage
+from repro.placement.global_placer import GlobalPlacer, PlacementConfig
+from repro.placement.legalization.abacus import AbacusLegalizer
+from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.timing.sta import STAResult
+from repro.utils.logging import get_logger
+from repro.weighting.net_weighting import MomentumNetWeighting
+from repro.weighting.pin_weighting import smooth_pin_pair_weights
+
+logger = get_logger("flow.stages")
+
+
+def calibrate_attraction_weight(
+    placer: GlobalPlacer,
+    attraction: PinAttractionObjective,
+    num_pairs: int,
+    ratio: float,
+    x: np.ndarray,
+    y: np.ndarray,
+) -> bool:
+    """Scale the attraction weight so the *average per-pair* force is
+    ``ratio`` times the *average per-cell* wirelength force.
+
+    The paper's absolute ``beta = 2.5e-5`` is tied to DREAMPlace's internal
+    gradient scaling; reproducing the relative strength of the two forces is
+    what transfers across engines.  Normalizing per pair / per cell keeps
+    the calibration independent of how many pairs have been extracted so
+    far.  Both the pin-pair and the smoothed strategies calibrate through
+    this one helper so their comparison is about *which* pins are
+    attracted, not about force magnitudes.  Returns True once calibrated.
+    """
+    wl = placer.wirelength.evaluate(x, y, net_weights=placer.net_weights)
+    wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
+    num_movable = max(int(placer.design.arrays.movable_mask.sum()), 1)
+    pp_norm = attraction.gradient_norm(x, y)
+    num_pairs = max(num_pairs, 1)
+    if pp_norm > 1e-12 and wl_norm > 1e-12:
+        attraction.weight = ratio * (wl_norm / num_movable) / (pp_norm / num_pairs)
+        logger.debug("calibrated attraction weight to %.3e", attraction.weight)
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Timing-feedback strategies
+# ----------------------------------------------------------------------
+@dataclass
+class TimingStrategyBase:
+    """Common plumbing of all timing-feedback strategies.
+
+    Subclasses implement :meth:`update`; the base class handles the shared
+    post-update work (momentum reset after an objective change, TNS/WNS
+    trajectory recording for Fig. 5).
+    """
+
+    # Use the engine's incremental mode between timing iterations.
+    sta_incremental: bool = False
+    sta_move_tolerance: float = 0.0
+
+    resets_momentum = True
+    records_history = True
+
+    def prepare(self, ctx: FlowContext) -> None:  # pragma: no cover - default
+        """Build engine/objective state before the placer exists."""
+
+    def attach(self, placer: GlobalPlacer, ctx: FlowContext) -> None:
+        """Attach objective terms to the freshly constructed placer."""
+
+    def update(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> STAResult:
+        raise NotImplementedError
+
+    def on_timing_iteration(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> None:
+        result = self.update(placer, ctx, iteration, x, y)
+        ctx.sta_result = result
+        if self.resets_momentum:
+            # The objective just changed; momentum accumulated under the
+            # previous objective is stale and can destabilize Nesterov.
+            placer.reset_optimizer_momentum()
+        if self.records_history:
+            placer.history.record_extra("tns", iteration, result.tns)
+            placer.history.record_extra("wns", iteration, result.wns)
+
+    def _engine_kwargs(self) -> Dict[str, object]:
+        return {
+            "incremental": self.sta_incremental,
+            "move_tolerance": self.sta_move_tolerance,
+        }
+
+
+@dataclass
+class PinPairAttractionStrategy(TimingStrategyBase):
+    """The paper's strategy: critical path extraction feeding pin pairs.
+
+    Every timing iteration runs STA, extracts critical paths with
+    ``report_timing_endpoint(n, k)``, applies the Eq. 9 pin-pair weight
+    update, and (once, in ``beta_mode="auto"``) calibrates the attraction
+    strength against the wirelength gradient.
+    """
+
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    w0: float = 10.0
+    w1: float = 0.2
+    loss: str = "quadratic"
+    beta: float = 2.5e-5
+    beta_mode: str = "auto"
+    beta_auto_ratio: float = 4.0
+    verbose: bool = False
+
+    def prepare(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("io"):
+            self.sta = ctx.require_sta(**self._engine_kwargs())
+            self.extractor = CriticalPathExtractor(self.sta, self.extraction)
+            self.pairs = PinPairSet(w0=self.w0, w1=self.w1)
+            self.attraction = PinAttractionObjective(
+                ctx.design,
+                self.pairs,
+                loss=make_loss(self.loss),
+                beta=self.beta,
+            )
+        ctx.pin_pairs = self.pairs
+        self.beta_calibrated = self.beta_mode != "auto"
+        self.timing_rounds = 0
+
+    def attach(self, placer: GlobalPlacer, ctx: FlowContext) -> None:
+        placer.add_objective_term(self.attraction)
+
+    def update(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> STAResult:
+        with ctx.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+            paths, stats = self.extractor.extract(result)
+        ctx.extraction_stats.append(stats)
+        with ctx.profiler.section("weighting"):
+            self.pairs.update_from_paths(paths, self.sta.graph, result.wns)
+            if not self.beta_calibrated and len(self.pairs) > 0:
+                self.calibrate_beta(placer, x, y)
+        self.timing_rounds += 1
+        if self.verbose:
+            logger.info(
+                "timing iter %d: tns=%.1f wns=%.1f pairs=%d",
+                iteration,
+                result.tns,
+                result.wns,
+                len(self.pairs),
+            )
+        return result
+
+    def calibrate_beta(self, placer: GlobalPlacer, x: np.ndarray, y: np.ndarray) -> None:
+        if calibrate_attraction_weight(
+            placer, self.attraction, len(self.pairs), self.beta_auto_ratio, x, y
+        ):
+            self.beta_calibrated = True
+
+
+@dataclass
+class MomentumNetWeightStrategy(TimingStrategyBase):
+    """DREAMPlace 4.0-style momentum net weighting (Eq. 5)."""
+
+    momentum_decay: float = 0.75
+    max_boost: float = 0.75
+    max_weight: float = 6.0
+
+    def prepare(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("io"):
+            self.sta = ctx.require_sta(**self._engine_kwargs())
+        self.weighting = MomentumNetWeighting(
+            decay=self.momentum_decay,
+            max_boost=self.max_boost,
+            max_weight=self.max_weight,
+        )
+
+    def update(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> STAResult:
+        with ctx.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+        with ctx.profiler.section("weighting"):
+            new_weights = self.weighting.update(ctx.design, result, placer.net_weights)
+            placer.set_net_weights(new_weights)
+        return result
+
+
+@dataclass
+class SmoothPinPairStrategy(TimingStrategyBase):
+    """Differentiable-TDP-style smoothed, path-free pin-pair attraction."""
+
+    temperature: float = 0.25
+    criticality_threshold: float = 0.05
+    attraction_ratio: float = 0.15
+
+    def prepare(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("io"):
+            self.sta = ctx.require_sta(**self._engine_kwargs())
+        self.pairs = PinPairSet()
+        self.attraction = PinAttractionObjective(
+            ctx.design, self.pairs, loss=LinearLoss(), beta=1.0
+        )
+        self.calibrated = False
+        ctx.pin_pairs = self.pairs
+
+    def attach(self, placer: GlobalPlacer, ctx: FlowContext) -> None:
+        placer.add_objective_term(self.attraction)
+
+    def update(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> STAResult:
+        with ctx.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+        with ctx.profiler.section("weighting"):
+            weights = smooth_pin_pair_weights(
+                ctx.design,
+                self.sta.graph,
+                result,
+                temperature=self.temperature,
+                threshold=self.criticality_threshold,
+            )
+            self.pairs.set_weights(weights)
+            if not self.calibrated and weights:
+                self.calibrated = calibrate_attraction_weight(
+                    placer, self.attraction, len(self.pairs), self.attraction_ratio, x, y
+                )
+        return result
+
+
+@dataclass
+class RecordTimingStrategy(TimingStrategyBase):
+    """Pure observation: run STA and record TNS/WNS, change nothing."""
+
+    resets_momentum = False
+
+    def prepare(self, ctx: FlowContext) -> None:
+        self.sta = ctx.require_sta(**self._engine_kwargs())
+
+    def update(
+        self,
+        placer: GlobalPlacer,
+        ctx: FlowContext,
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> STAResult:
+        return self.sta.update_timing(x, y)
+
+
+STRATEGIES: Dict[str, Type[TimingStrategyBase]] = {
+    "pin_pair": PinPairAttractionStrategy,
+    "net_weight": MomentumNetWeightStrategy,
+    "smooth_pair": SmoothPinPairStrategy,
+    "record": RecordTimingStrategy,
+}
+
+
+def make_strategy(name: str, **options: object) -> TimingStrategyBase:
+    """Instantiate a timing strategy by registry name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"Unknown timing strategy {name!r}; available: {', '.join(sorted(STRATEGIES))}"
+        ) from exc
+    return cls(**options)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+@register_stage("timing_weight")
+class TimingWeightStage:
+    """Periodic timing feedback into the placement loop.
+
+    ``strategy`` is a :class:`TimingStrategyBase` instance or a registry name
+    (``pin_pair`` / ``net_weight`` / ``smooth_pair`` / ``record``).  The
+    schedule follows the paper: feedback starts at ``start_iteration`` and
+    repeats every ``interval`` placement iterations (``m``).
+    """
+
+    name = "timing_weight"
+
+    def __init__(
+        self,
+        strategy: "TimingStrategyBase | str" = "pin_pair",
+        *,
+        start_iteration: int = 150,
+        interval: int = 15,
+        **strategy_options: object,
+    ) -> None:
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy, **strategy_options)
+        elif strategy_options:
+            raise ValueError("strategy_options are only valid with a strategy name")
+        self.strategy = strategy
+        self.start_iteration = int(start_iteration)
+        self.interval = int(interval)
+
+    def run(self, ctx: FlowContext) -> None:
+        if ctx.placer is not None:
+            raise ValueError(
+                "timing_weight must come before global_place in the stage "
+                "list: it hooks into the placement loop via placer hooks, "
+                "so after placement has run it would be a silent no-op"
+            )
+        self.strategy.prepare(ctx)
+        ctx.placer_hooks.append(self._attach)
+
+    def _attach(self, placer: GlobalPlacer, ctx: FlowContext) -> None:
+        self.strategy.attach(placer, ctx)
+
+        def callback(
+            placer_obj: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
+        ) -> None:
+            if iteration < self.start_iteration:
+                return
+            if (iteration - self.start_iteration) % self.interval != 0:
+                return
+            self.strategy.on_timing_iteration(placer_obj, ctx, iteration, x, y)
+
+        placer.add_callback(callback)
+
+
+@register_stage("global_place")
+class GlobalPlaceStage:
+    """Nonlinear global placement (wirelength + density + extra terms)."""
+
+    name = "global_place"
+
+    def __init__(self, config: Optional[PlacementConfig] = None) -> None:
+        self.config = config if config is not None else PlacementConfig()
+
+    def run(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("io"):
+            placer = GlobalPlacer(ctx.design, self.config, profiler=ctx.profiler)
+            for hook in ctx.placer_hooks:
+                hook(placer, ctx)
+        ctx.placer = placer
+        placement = placer.run()
+        ctx.placement = placement
+        ctx.history = placement.history
+        ctx.x = placement.x
+        ctx.y = placement.y
+
+
+@register_stage("legalize")
+class LegalizeStage:
+    """Abacus legalization with automatic greedy fallback."""
+
+    name = "legalize"
+
+    def __init__(self, *, fallback: bool = True) -> None:
+        self.fallback = fallback
+
+    def run(self, ctx: FlowContext) -> None:
+        x, y = ctx.positions()
+        with ctx.profiler.section("legalization"):
+            legal = AbacusLegalizer(ctx.design).legalize(x, y)
+            used_fallback = False
+            if not legal.success and self.fallback:
+                logger.warning(
+                    "Abacus failed to place %d cells; falling back to greedy",
+                    legal.num_failed,
+                )
+                legal = GreedyLegalizer(ctx.design).legalize(x, y)
+                used_fallback = True
+            ctx.x, ctx.y = legal.x, legal.y
+            ctx.design.set_positions(ctx.x, ctx.y)
+        ctx.metadata["legalization"] = {
+            "engine": "greedy" if used_fallback else "abacus",
+            "fallback": used_fallback,
+            "num_failed": int(legal.num_failed),
+            "total_displacement": float(legal.total_displacement),
+            "max_displacement": float(legal.max_displacement),
+        }
+
+
+@register_stage("evaluate")
+class EvaluateStage:
+    """Score the placement with the shared evaluator (HPWL/TNS/WNS/legality)."""
+
+    name = "evaluate"
+
+    def run(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("io"):
+            x, y = ctx.positions()
+            ctx.evaluation = Evaluator(ctx.design, ctx.constraints).evaluate(x, y)

@@ -72,13 +72,37 @@ class WireRCModel:
         self._driver_pin[self._csr_net[driver_mask]] = self._csr_pins[driver_mask]
         self._pin_count = np.bincount(self._csr_net, minlength=self._num_nets)
 
-    def evaluate(self, pin_x: np.ndarray, pin_y: np.ndarray) -> WireDelayResult:
-        """Compute loads and Elmore sink delays for pin positions ``(pin_x, pin_y)``."""
+    @property
+    def num_nets(self) -> int:
+        return self._num_nets
+
+    def pins_of_nets(self, net_mask: np.ndarray) -> np.ndarray:
+        """Pin indices belonging to any net selected by ``net_mask``."""
+        return self._csr_pins[net_mask[self._csr_net]]
+
+    def evaluate(
+        self,
+        pin_x: np.ndarray,
+        pin_y: np.ndarray,
+        *,
+        net_mask: Optional[np.ndarray] = None,
+    ) -> WireDelayResult:
+        """Compute loads and Elmore sink delays for pin positions ``(pin_x, pin_y)``.
+
+        With ``net_mask`` only the selected nets are evaluated (the returned
+        arrays are full-size but meaningful only for masked nets and their
+        pins); per-net values are bitwise identical to an unmasked pass, which
+        is what makes the incremental STA mode exact.
+        """
         r = self.resistance_per_unit
         c = self.capacitance_per_unit
         csr_pins = self._csr_pins
         csr_net = self._csr_net
         num_nets = self._num_nets
+        if net_mask is not None:
+            selected = net_mask[csr_net]
+            csr_pins = csr_pins[selected]
+            csr_net = csr_net[selected]
 
         # Star center: centroid of the net's pins.
         count = np.maximum(self._pin_count, 1)
@@ -171,3 +195,29 @@ class CellDelayModel:
             arc_delay[local_idx] = spec.delay(float(load[local_idx]))
         delays[self._cell_arc_indices] = arc_delay
         return delays
+
+    def update_subset(
+        self, delays: np.ndarray, net_load: np.ndarray, net_mask: np.ndarray
+    ) -> np.ndarray:
+        """Refresh in ``delays`` the cell arcs driving a masked net.
+
+        Returns the (graph-level) indices of the arcs that were recomputed.
+        Values match :meth:`evaluate` exactly for the touched arcs.
+        """
+        if self._cell_arc_indices.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        dirty_local = (self._driven_net >= 0) & net_mask[np.maximum(self._driven_net, 0)]
+        local_idx = np.nonzero(dirty_local)[0]
+        if local_idx.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        load = net_load[self._driven_net[local_idx]]
+        arc_delay = self._intrinsic[local_idx] + self._slope[local_idx] * load
+        for table_local, spec in self._table_arcs:
+            if dirty_local[table_local]:
+                position = int(np.searchsorted(local_idx, table_local))
+                arc_delay[position] = spec.delay(
+                    float(net_load[self._driven_net[table_local]])
+                )
+        arc_indices = self._cell_arc_indices[local_idx]
+        delays[arc_indices] = arc_delay
+        return arc_indices

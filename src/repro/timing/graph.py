@@ -32,6 +32,24 @@ class ArcKind(enum.IntEnum):
     NET = 1
 
 
+def csr_gather(
+    offsets: np.ndarray, sorted_items: np.ndarray, idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR ranges ``[offsets[i], offsets[i+1])`` for ``i in idx``.
+
+    Returns ``(flat_items, lengths)``: the payload of every requested row
+    back to back, and each row's count (possibly zero).
+    """
+    starts = offsets[idx]
+    lengths = offsets[idx + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=sorted_items.dtype), lengths
+    cum = np.cumsum(lengths) - lengths
+    positions = np.repeat(starts - cum, lengths) + np.arange(total, dtype=np.int64)
+    return sorted_items[positions], lengths
+
+
 @dataclass(frozen=True)
 class Arc:
     """One timing arc (edge) of the graph."""
@@ -59,13 +77,19 @@ class TimingGraph:
 
         self.clock_nets: Set[int] = self._identify_clock_nets()
         self.arcs: List[Arc] = []
+        # Flat arrays for vectorized delay evaluation / propagation, built
+        # from primitive accumulators during construction (a single
+        # list->array conversion instead of per-arc attribute passes).
+        self._from_acc: List[int] = []
+        self._to_acc: List[int] = []
+        self._kind_acc: List[int] = []
+        self._net_acc: List[int] = []
         self._build_arcs()
-
-        # Flat arrays for vectorized delay evaluation / propagation.
-        self.arc_from = np.array([a.from_pin for a in self.arcs], dtype=np.int64)
-        self.arc_to = np.array([a.to_pin for a in self.arcs], dtype=np.int64)
-        self.arc_kind = np.array([int(a.kind) for a in self.arcs], dtype=np.int8)
-        self.arc_net = np.array([a.net_index for a in self.arcs], dtype=np.int64)
+        self.arc_from = np.asarray(self._from_acc, dtype=np.int64)
+        self.arc_to = np.asarray(self._to_acc, dtype=np.int64)
+        self.arc_kind = np.asarray(self._kind_acc, dtype=np.int8)
+        self.arc_net = np.asarray(self._net_acc, dtype=np.int64)
+        del self._from_acc, self._to_acc, self._kind_acc, self._net_acc
 
         self._build_adjacency()
         self.level = self._levelize()
@@ -94,6 +118,29 @@ class TimingGraph:
                 clock_nets.add(net.index)
         return clock_nets
 
+    def _add_arc(
+        self,
+        from_pin: int,
+        to_pin: int,
+        kind: ArcKind,
+        net_index: int = -1,
+        spec: Optional[TimingArcSpec] = None,
+    ) -> None:
+        self.arcs.append(
+            Arc(
+                index=len(self.arcs),
+                from_pin=from_pin,
+                to_pin=to_pin,
+                kind=kind,
+                net_index=net_index,
+                spec=spec,
+            )
+        )
+        self._from_acc.append(from_pin)
+        self._to_acc.append(to_pin)
+        self._kind_acc.append(int(kind))
+        self._net_acc.append(net_index)
+
     def _build_arcs(self) -> None:
         design = self.design
         # Net arcs (excluding clock nets).
@@ -104,15 +151,7 @@ class TimingGraph:
             if driver is None:
                 continue
             for sink in net.sinks:
-                self.arcs.append(
-                    Arc(
-                        index=len(self.arcs),
-                        from_pin=driver.index,
-                        to_pin=sink.index,
-                        kind=ArcKind.NET,
-                        net_index=net.index,
-                    )
-                )
+                self._add_arc(driver.index, sink.index, ArcKind.NET, net_index=net.index)
         # Cell arcs.  Group pins by owning instance in a single pass first so
         # arc construction stays linear in design size.
         pins_by_instance: Dict[str, Dict[str, PinRef]] = {}
@@ -127,15 +166,7 @@ class TimingGraph:
                 to_pin = pin_map.get(spec.to_pin)
                 if from_pin is None or to_pin is None:
                     continue
-                self.arcs.append(
-                    Arc(
-                        index=len(self.arcs),
-                        from_pin=from_pin.index,
-                        to_pin=to_pin.index,
-                        kind=ArcKind.CELL,
-                        spec=spec,
-                    )
-                )
+                self._add_arc(from_pin.index, to_pin.index, ArcKind.CELL, spec=spec)
 
     def _build_adjacency(self) -> None:
         """CSR fanin/fanout adjacency: arc indices grouped by to/from pin."""
@@ -156,24 +187,28 @@ class TimingGraph:
         return self.fanout_arcs[self.fanout_offsets[pin]: self.fanout_offsets[pin + 1]]
 
     def _levelize(self) -> np.ndarray:
-        """Topological levels via Kahn's algorithm; raises on cycles."""
-        indegree = np.bincount(self.arc_to, minlength=self.num_pins).astype(np.int64) if len(self.arcs) else np.zeros(self.num_pins, dtype=np.int64)
+        """Topological levels via wave-parallel Kahn's algorithm; raises on cycles.
+
+        Each wave pops every pin whose indegree reached zero and relaxes all
+        of their fanout arcs at once with array ops, so the cost is one numpy
+        pass per logic level instead of one Python iteration per pin.
+        """
         level = np.zeros(self.num_pins, dtype=np.int64)
-        queue = [int(p) for p in np.nonzero(indegree == 0)[0]]
-        processed = 0
-        head = 0
-        while head < len(queue):
-            pin = queue[head]
-            head += 1
-            processed += 1
-            for arc_idx in self.fanout_of(pin):
-                arc = self.arcs[int(arc_idx)]
-                target = arc.to_pin
-                if level[target] < level[pin] + 1:
-                    level[target] = level[pin] + 1
-                indegree[target] -= 1
-                if indegree[target] == 0:
-                    queue.append(target)
+        if not self.arcs:
+            return level
+        indegree = np.bincount(self.arc_to, minlength=self.num_pins).astype(np.int64)
+        frontier = np.nonzero(indegree == 0)[0]
+        processed = int(frontier.size)
+        while frontier.size:
+            out_arcs, _ = csr_gather(self.fanout_offsets, self.fanout_arcs, frontier)
+            if out_arcs.size == 0:
+                break
+            targets = self.arc_to[out_arcs]
+            np.maximum.at(level, targets, level[self.arc_from[out_arcs]] + 1)
+            decrement = np.bincount(targets, minlength=self.num_pins)
+            indegree -= decrement
+            frontier = np.nonzero((decrement > 0) & (indegree == 0))[0]
+            processed += int(frontier.size)
         if processed != self.num_pins:
             remaining = int(self.num_pins - processed)
             raise ValueError(

@@ -67,6 +67,8 @@ class RCTree:
 
         self.root = topology.root
         self._downstream_cap: Optional[np.ndarray] = None
+        self._node_delay: Optional[np.ndarray] = None
+        self._edge_topo: List[int] = []
 
     @property
     def total_capacitance(self) -> float:
@@ -84,8 +86,10 @@ class RCTree:
         num_nodes = self.node_cap.size
         downstream = self.node_cap.copy()
         # Process nodes bottom-up: children before parents. Obtain an order by
-        # DFS from the root and reverse it.
+        # DFS from the root and reverse it.  The edge visit order (parent
+        # always before child) is recorded for the root-to-node delay pass.
         order: List[int] = []
+        edge_order: List[int] = []
         stack = [self.root]
         visited = set()
         while stack:
@@ -95,38 +99,47 @@ class RCTree:
             visited.add(node)
             order.append(node)
             for edge_idx in self._children.get(node, []):
+                edge_order.append(edge_idx)
                 stack.append(self._edges[edge_idx].child)
+        self._edge_topo = edge_order
         for node in reversed(order):
             for edge_idx in self._children.get(node, []):
                 downstream[node] += downstream[self._edges[edge_idx].child]
         self._downstream_cap = downstream
         return downstream
 
+    def _compute_node_delays(self) -> np.ndarray:
+        """Elmore delay from the root to every node, one vectorized pass.
+
+        ``delay(child) = delay(parent) + R_edge * C_down(child)``, evaluated
+        breadth-first so each tree depth is a single array operation instead
+        of one root-walk per node.
+        """
+        if self._node_delay is not None:
+            return self._node_delay
+        downstream = self._compute_downstream().tolist()
+        delay: List[float] = [float("nan")] * self.node_cap.size
+        delay[self.root] = 0.0
+        edges = self._edges
+        for edge_idx in self._edge_topo:
+            edge = edges[edge_idx]
+            delay[edge.child] = delay[edge.parent] + edge.resistance * downstream[edge.child]
+        self._node_delay = np.asarray(delay, dtype=np.float64)
+        return self._node_delay
+
     def elmore_delay(self, node: int) -> float:
         """Elmore delay from the root (driver) to ``node``."""
-        downstream = self._compute_downstream()
-        # Build parent pointers lazily.
-        parent_edge: Dict[int, _Edge] = {e.child: e for e in self._edges}
-        delay = 0.0
-        current = node
-        guard = 0
-        while current != self.root:
-            edge = parent_edge.get(current)
-            if edge is None:
-                raise ValueError(f"Node {current} is not reachable from the root")
-            delay += edge.resistance * downstream[edge.child]
-            current = edge.parent
-            guard += 1
-            if guard > len(self._edges) + 1:
-                raise ValueError("RC tree contains a cycle")
+        delay = self._compute_node_delays()[node]
+        if np.isnan(delay):
+            raise ValueError(f"Node {node} is not reachable from the root")
         return float(delay)
 
     def elmore_delays_to_pins(self) -> np.ndarray:
         """Elmore delay from the root to every pin node (driver delay is 0)."""
         num_pins = self.topology.num_pins
-        delays = np.zeros(num_pins, dtype=np.float64)
-        for pin in range(num_pins):
-            if pin == self.root:
-                continue
-            delays[pin] = self.elmore_delay(pin)
-        return delays
+        pin_delay = self._compute_node_delays()[:num_pins].copy()
+        pin_delay[self.root] = 0.0
+        bad = np.nonzero(np.isnan(pin_delay))[0]
+        if bad.size:
+            raise ValueError(f"Node {int(bad[0])} is not reachable from the root")
+        return pin_delay

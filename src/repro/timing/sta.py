@@ -11,6 +11,27 @@ The engine deliberately mirrors OpenTimer's interface shape used by
 DREAMPlace 4.0: ``update_timing()`` refreshes arrival/required/slack, and the
 report functions in :mod:`repro.timing.report` extract critical paths from the
 annotated graph.
+
+Incremental mode
+----------------
+
+When constructed with ``incremental=True`` the engine keeps the previous
+update's positions, delays, and arrival/required annotations.  On the next
+``update_timing`` it detects which instances moved beyond ``move_tolerance``,
+re-evaluates wire and cell delays only for the nets those instances touch,
+and re-propagates arrival/required times only from the dirty frontier,
+level by level.  With ``move_tolerance=0`` the incremental result is exactly
+(bitwise) the full recompute; a positive tolerance trades bounded staleness
+for fewer net re-evaluations.  ``update_timing(..., incremental=False)`` is
+the exact fallback: it forces a full recompute and reseeds every cache, and
+the engine falls back on its own whenever the dirty-net fraction exceeds
+``incremental_rebuild_fraction``.
+
+Cost model: the sparse re-propagation pays a fixed per-logic-level overhead
+(a handful of small numpy calls per touched level), so it wins once designs
+reach roughly 10k cells or when repeated queries move little or nothing;
+below that the fully vectorized full pass is already faster.  Flows that
+move every cell every iteration should keep the default full mode.
 """
 
 from __future__ import annotations
@@ -23,7 +44,7 @@ import numpy as np
 from repro.netlist.design import Design
 from repro.timing.constraints import TimingConstraints
 from repro.timing.delay_model import CellDelayModel, WireRCModel
-from repro.timing.graph import ArcKind, TimingGraph
+from repro.timing.graph import ArcKind, TimingGraph, csr_gather as _csr_gather
 
 _NEG_INF = -1.0e30
 _POS_INF = 1.0e30
@@ -42,24 +63,63 @@ class STAResult:
     endpoint_slack: np.ndarray    # [num_endpoints] slack per endpoint
     wns: float
     tns: float
+    # Memoized views (endpoint lookups are hot inside path extraction).
+    _failing_cache: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _endpoint_pos: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def failing_endpoints(self) -> np.ndarray:
-        """Endpoint pin indices with negative slack, worst first."""
-        mask = self.endpoint_slack < 0
-        failing = self.endpoint_pins[mask]
-        order = np.argsort(self.endpoint_slack[mask])
-        return failing[order]
+        """Endpoint pin indices with negative slack, worst first (memoized)."""
+        if self._failing_cache is None:
+            mask = self.endpoint_slack < 0
+            failing = self.endpoint_pins[mask]
+            order = np.argsort(self.endpoint_slack[mask])
+            self._failing_cache = failing[order]
+        return self._failing_cache
 
     @property
     def num_failing_endpoints(self) -> int:
         return int(np.sum(self.endpoint_slack < 0))
 
     def endpoint_slack_of(self, pin_index: int) -> float:
-        matches = np.nonzero(self.endpoint_pins == pin_index)[0]
-        if matches.size == 0:
+        """Slack of one endpoint pin, O(1) after the first lookup."""
+        if self._endpoint_pos is None:
+            # Keep the *first* position for any duplicate, matching the
+            # linear scan this replaces (endpoints are unique in practice).
+            pos_map: Dict[int, int] = {}
+            for position, pin in enumerate(self.endpoint_pins):
+                pos_map.setdefault(int(pin), position)
+            self._endpoint_pos = pos_map
+        position = self._endpoint_pos.get(int(pin_index))
+        if position is None:
             raise KeyError(f"Pin {pin_index} is not an endpoint")
-        return float(self.endpoint_slack[matches[0]])
+        return float(self.endpoint_slack[position])
+
+
+@dataclass
+class TimingUpdateStats:
+    """Bookkeeping of one ``update_timing`` call (incremental diagnostics)."""
+
+    mode: str                     # "full" or "incremental"
+    num_moved_instances: int = 0
+    num_dirty_nets: int = 0
+    num_dirty_arcs: int = 0
+    num_forward_pins: int = 0     # pins whose arrival was recomputed
+    num_backward_pins: int = 0    # pins whose required was recomputed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "moved_instances": self.num_moved_instances,
+            "dirty_nets": self.num_dirty_nets,
+            "dirty_arcs": self.num_dirty_arcs,
+            "forward_pins": self.num_forward_pins,
+            "backward_pins": self.num_backward_pins,
+        }
 
 
 class STAEngine:
@@ -72,6 +132,9 @@ class STAEngine:
         *,
         graph: Optional[TimingGraph] = None,
         wire_model: Optional[WireRCModel] = None,
+        incremental: bool = False,
+        move_tolerance: float = 0.0,
+        incremental_rebuild_fraction: float = 0.5,
     ) -> None:
         self.design = design
         self.constraints = (
@@ -81,9 +144,22 @@ class STAEngine:
         self.graph = graph if graph is not None else TimingGraph(design)
         self.wire_model = wire_model if wire_model is not None else WireRCModel(design)
         self.cell_model = CellDelayModel(self.graph)
+        self.incremental = incremental
+        self.move_tolerance = float(move_tolerance)
+        self.incremental_rebuild_fraction = float(incremental_rebuild_fraction)
         self._prepare_boundary_conditions()
         self._prepare_level_buckets()
+        self._prepare_propagation_bases()
         self.last_result: Optional[STAResult] = None
+        self.last_update_stats: Optional[TimingUpdateStats] = None
+        # Incremental caches (populated by the first full update).
+        self._ref_x: Optional[np.ndarray] = None
+        self._ref_y: Optional[np.ndarray] = None
+        self._arc_delay: Optional[np.ndarray] = None
+        self._net_load: Optional[np.ndarray] = None
+        self._sink_delay: Optional[np.ndarray] = None
+        self._arrival: Optional[np.ndarray] = None
+        self._required: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -132,11 +208,34 @@ class STAEngine:
         from_level = graph.level[graph.arc_from]
         max_level = graph.max_level
         self._forward_buckets = [
-            np.nonzero(to_level == lvl)[0] for lvl in range(1, max_level + 1)
+            np.ascontiguousarray(np.nonzero(to_level == lvl)[0], dtype=np.int64)
+            for lvl in range(1, max_level + 1)
         ]
         self._backward_buckets = [
-            np.nonzero(from_level == lvl)[0] for lvl in range(max_level - 1, -1, -1)
+            np.ascontiguousarray(np.nonzero(from_level == lvl)[0], dtype=np.int64)
+            for lvl in range(max_level - 1, -1, -1)
         ]
+
+    def _prepare_propagation_bases(self) -> None:
+        """Initial arrival/required values before any arc is applied.
+
+        Full propagation computes ``arrival[p] = max(base[p], max over fanin
+        candidates)`` and ``required[p] = min(base[p], min over fanout
+        candidates)``; the incremental recompute of a single pin uses exactly
+        the same formula, so both modes agree bit for bit.
+        """
+        graph = self.graph
+        base_arrival = np.full(graph.num_pins, _NEG_INF, dtype=np.float64)
+        no_fanin = np.diff(graph.fanin_offsets) == 0
+        base_arrival[no_fanin] = 0.0
+        if self.source_pins.size:
+            base_arrival[self.source_pins] = self.source_arrival
+        self._base_arrival = base_arrival
+
+        base_required = np.full(graph.num_pins, _POS_INF, dtype=np.float64)
+        if self.endpoint_pins.size:
+            base_required[self.endpoint_pins] = self.endpoint_required
+        self._base_required = base_required
 
     # ------------------------------------------------------------------
     # Timing update
@@ -145,11 +244,38 @@ class STAEngine:
         self,
         x: Optional[np.ndarray] = None,
         y: Optional[np.ndarray] = None,
+        *,
+        incremental: Optional[bool] = None,
     ) -> STAResult:
-        """Run a full STA pass for instance positions ``(x, y)``.
+        """Run an STA pass for instance positions ``(x, y)``.
 
         When positions are omitted the design's stored positions are used.
+        ``incremental`` overrides the engine-level setting for this call;
+        ``incremental=False`` is the exact fallback that forces a full
+        recompute and refreshes every incremental cache.
         """
+        design = self.design
+        if x is None or y is None:
+            x, y = design.positions()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+
+        use_incremental = self.incremental if incremental is None else incremental
+        if use_incremental and self._can_update_incrementally():
+            result = self._update_incremental(x, y)
+            if result is not None:
+                self.last_result = result
+                return result
+        return self._update_full(x, y)
+
+    def _can_update_incrementally(self) -> bool:
+        return (
+            self._arc_delay is not None
+            and self._ref_x is not None
+            and self.graph.num_arcs > 0
+        )
+
+    def _update_full(self, x: np.ndarray, y: np.ndarray) -> STAResult:
         design = self.design
         graph = self.graph
         pin_x, pin_y = design.pin_positions(x, y)
@@ -162,41 +288,225 @@ class STAEngine:
 
         arrival = self._propagate_arrival(arc_delay)
         required = self._propagate_required(arc_delay, arrival)
+
+        # Seed the incremental caches.
+        self._ref_x = x.copy()
+        self._ref_y = y.copy()
+        self._arc_delay = arc_delay
+        self._net_load = wire.net_load
+        self._sink_delay = wire.sink_delay
+        self._arrival = arrival
+        self._required = required
+
+        self.last_update_stats = TimingUpdateStats(
+            mode="full",
+            num_dirty_nets=int(self.wire_model.num_nets),
+            num_dirty_arcs=int(graph.num_arcs),
+            num_forward_pins=int(graph.num_pins),
+            num_backward_pins=int(graph.num_pins),
+        )
+        result = self._assemble_result()
+        self.last_result = result
+        return result
+
+    def _update_incremental(self, x: np.ndarray, y: np.ndarray) -> Optional[STAResult]:
+        """Dirty-frontier update; returns ``None`` to request a full rebuild."""
+        design = self.design
+        graph = self.graph
+        arrays = design.arrays
+        tol = self.move_tolerance
+
+        moved = (np.abs(x - self._ref_x) > tol) | (np.abs(y - self._ref_y) > tol)
+        num_moved = int(moved.sum())
+        if num_moved == 0:
+            self.last_update_stats = TimingUpdateStats(
+                mode="incremental", num_moved_instances=0
+            )
+            return self._assemble_result()
+
+        # Nets touching any moved instance must have their RC re-evaluated.
+        moved_pin_mask = moved[arrays.pin_instance]
+        dirty_net_ids = arrays.pin_net[moved_pin_mask]
+        dirty_net_ids = dirty_net_ids[dirty_net_ids >= 0]
+        net_mask = np.zeros(self.wire_model.num_nets, dtype=bool)
+        net_mask[dirty_net_ids] = True
+        num_dirty_nets = int(net_mask.sum())
+        if num_dirty_nets > self.incremental_rebuild_fraction * max(net_mask.size, 1):
+            return None  # most of the design moved; a full pass is cheaper
+
+        # Copy-on-write: results handed out by previous updates must never
+        # change after the fact, so each mutating update works on fresh
+        # copies of the caches (the no-motion path above stays copy-free).
+        self._arrival = self._arrival.copy()
+        self._required = self._required.copy()
+        self._arc_delay = self._arc_delay.copy()
+        self._net_load = self._net_load.copy()
+        self._sink_delay = self._sink_delay.copy()
+
+        pin_x, pin_y = design.pin_positions(x, y)
+        wire = self.wire_model.evaluate(pin_x, pin_y, net_mask=net_mask)
+        dirty_pins = self.wire_model.pins_of_nets(net_mask)
+        self._net_load[net_mask] = wire.net_load[net_mask]
+        self._sink_delay[dirty_pins] = wire.sink_delay[dirty_pins]
+
+        # Refresh delays of every arc tied to a dirty net: net arcs inside
+        # the net, and cell arcs whose output drives the net.
+        net_arc_dirty = (graph.arc_kind == int(ArcKind.NET)) & net_mask[
+            np.maximum(graph.arc_net, 0)
+        ] & (graph.arc_net >= 0)
+        self._arc_delay[net_arc_dirty] = self._sink_delay[graph.arc_to[net_arc_dirty]]
+        cell_arc_dirty = self.cell_model.update_subset(
+            self._arc_delay, self._net_load, net_mask
+        )
+        dirty_arcs = np.concatenate([np.nonzero(net_arc_dirty)[0], cell_arc_dirty])
+
+        forward_pins = self._incremental_forward(dirty_arcs)
+        backward_pins = self._incremental_backward(dirty_arcs)
+
+        # Only the reference positions of moved instances advance; instances
+        # drifting below the tolerance keep accumulating against their last
+        # evaluated position, which bounds the approximation error.
+        self._ref_x[moved] = x[moved]
+        self._ref_y[moved] = y[moved]
+
+        self.last_update_stats = TimingUpdateStats(
+            mode="incremental",
+            num_moved_instances=num_moved,
+            num_dirty_nets=num_dirty_nets,
+            num_dirty_arcs=int(dirty_arcs.size),
+            num_forward_pins=forward_pins,
+            num_backward_pins=backward_pins,
+        )
+        return self._assemble_result()
+
+    class _LevelWorklist:
+        """Dirty pins bucketed by level, deduplicated with a seen mask.
+
+        Keeps the frontier sparse: clean levels cost one dict probe, and no
+        per-level scan over the whole pin array is ever needed.
+        """
+
+        __slots__ = ("level", "seen", "pending")
+
+        def __init__(self, level: np.ndarray, num_pins: int) -> None:
+            self.level = level
+            self.seen = np.zeros(num_pins, dtype=bool)
+            self.pending: Dict[int, List[np.ndarray]] = {}
+
+        def mark(self, pins: np.ndarray) -> None:
+            fresh = pins[~self.seen[pins]]
+            if fresh.size == 0:
+                return
+            fresh = np.unique(fresh)
+            self.seen[fresh] = True
+            levels = self.level[fresh]
+            for lvl in np.unique(levels):
+                self.pending.setdefault(int(lvl), []).append(fresh[levels == lvl])
+
+        def pop(self, lvl: int) -> Optional[np.ndarray]:
+            chunks = self.pending.pop(lvl, None)
+            if not chunks:
+                return None
+            return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def _incremental_forward(self, dirty_arcs: np.ndarray) -> int:
+        """Recompute arrival times downstream of the dirty arcs."""
+        graph = self.graph
+        arrival = self._arrival
+        arc_delay = self._arc_delay
+        worklist = self._LevelWorklist(graph.level, graph.num_pins)
+        if dirty_arcs.size:
+            worklist.mark(graph.arc_to[dirty_arcs])
+        recomputed = 0
+        for lvl in range(1, graph.max_level + 1):
+            idx = worklist.pop(lvl)
+            if idx is None:
+                continue
+            recomputed += int(idx.size)
+            new = self._base_arrival[idx].copy()
+            flat, lengths = _csr_gather(graph.fanin_offsets, graph.fanin_arcs, idx)
+            if flat.size:
+                nonzero = lengths > 0
+                candidates = arrival[graph.arc_from[flat]] + arc_delay[flat]
+                reduced = np.maximum.reduceat(
+                    candidates, np.cumsum(lengths[nonzero]) - lengths[nonzero]
+                )
+                new[nonzero] = np.maximum(new[nonzero], reduced)
+            changed = idx[new != arrival[idx]]
+            arrival[idx] = new
+            if changed.size:
+                out, _ = _csr_gather(graph.fanout_offsets, graph.fanout_arcs, changed)
+                if out.size:
+                    worklist.mark(graph.arc_to[out])
+        return recomputed
+
+    def _incremental_backward(self, dirty_arcs: np.ndarray) -> int:
+        """Recompute required times upstream of the dirty arcs."""
+        graph = self.graph
+        required = self._required
+        arc_delay = self._arc_delay
+        worklist = self._LevelWorklist(graph.level, graph.num_pins)
+        if dirty_arcs.size:
+            worklist.mark(graph.arc_from[dirty_arcs])
+        recomputed = 0
+        for lvl in range(graph.max_level - 1, -1, -1):
+            idx = worklist.pop(lvl)
+            if idx is None:
+                continue
+            recomputed += int(idx.size)
+            new = self._base_required[idx].copy()
+            flat, lengths = _csr_gather(graph.fanout_offsets, graph.fanout_arcs, idx)
+            if flat.size:
+                nonzero = lengths > 0
+                candidates = required[graph.arc_to[flat]] - arc_delay[flat]
+                reduced = np.minimum.reduceat(
+                    candidates, np.cumsum(lengths[nonzero]) - lengths[nonzero]
+                )
+                new[nonzero] = np.minimum(new[nonzero], reduced)
+            changed = idx[new != required[idx]]
+            required[idx] = new
+            if changed.size:
+                inc, _ = _csr_gather(graph.fanin_offsets, graph.fanin_arcs, changed)
+                if inc.size:
+                    worklist.mark(graph.arc_from[inc])
+        return recomputed
+
+    def _assemble_result(self) -> STAResult:
+        arrival = self._arrival
+        required = self._required
         slack = required - arrival
 
-        endpoint_arrival = arrival[self.endpoint_pins] if self.endpoint_pins.size else np.zeros(0)
-        endpoint_slack = self.endpoint_required - endpoint_arrival if self.endpoint_pins.size else np.zeros(0)
-        # Endpoints never reached by any path are ignored (no constraint).
-        reachable = endpoint_arrival > _NEG_INF / 2
-        endpoint_slack = np.where(reachable, endpoint_slack, np.inf)
+        if self.endpoint_pins.size:
+            endpoint_arrival = arrival[self.endpoint_pins]
+            endpoint_slack = self.endpoint_required - endpoint_arrival
+            # Endpoints never reached by any path are ignored (no constraint).
+            reachable = endpoint_arrival > _NEG_INF / 2
+            endpoint_slack = np.where(reachable, endpoint_slack, np.inf)
+        else:
+            endpoint_slack = np.zeros(0)
 
         negative = endpoint_slack[endpoint_slack < 0]
         wns = float(negative.min()) if negative.size else 0.0
         tns = float(negative.sum()) if negative.size else 0.0
 
-        result = STAResult(
+        # Mutating updates always start from fresh cache copies (full
+        # updates allocate, incremental ones copy-on-write), so the arrays
+        # can be handed over directly: no later update rewrites them.
+        return STAResult(
             arrival=arrival,
             required=required,
             slack=slack,
-            arc_delay=arc_delay,
-            net_load=wire.net_load,
+            arc_delay=self._arc_delay,
+            net_load=self._net_load,
             endpoint_pins=self.endpoint_pins,
             endpoint_slack=endpoint_slack,
             wns=wns,
             tns=tns,
         )
-        self.last_result = result
-        return result
 
     def _propagate_arrival(self, arc_delay: np.ndarray) -> np.ndarray:
         graph = self.graph
-        arrival = np.full(graph.num_pins, _NEG_INF, dtype=np.float64)
-        # Pins with no fanin start at 0 so cell arcs out of floating inputs
-        # do not poison downstream arrivals with -inf.
-        no_fanin = np.diff(graph.fanin_offsets) == 0
-        arrival[no_fanin] = 0.0
-        if self.source_pins.size:
-            arrival[self.source_pins] = self.source_arrival
+        arrival = self._base_arrival.copy()
         for bucket in self._forward_buckets:
             if bucket.size == 0:
                 continue
@@ -206,9 +516,7 @@ class STAEngine:
 
     def _propagate_required(self, arc_delay: np.ndarray, arrival: np.ndarray) -> np.ndarray:
         graph = self.graph
-        required = np.full(graph.num_pins, _POS_INF, dtype=np.float64)
-        if self.endpoint_pins.size:
-            required[self.endpoint_pins] = self.endpoint_required
+        required = self._base_required.copy()
         for bucket in self._backward_buckets:
             if bucket.size == 0:
                 continue

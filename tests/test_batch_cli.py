@@ -1,0 +1,204 @@
+"""The multi-design batch runner and the ``repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.flow.batch import BatchJob, run_batch
+from repro.flow.cli import _parse_overrides, _parse_value, main
+
+# Keep the designs tiny so the whole module stays fast.
+FAST_SET = [
+    "--set", "max_iterations=60",
+    "--set", "timing_start_iteration=20",
+    "--set", "min_timing_iterations=20",
+    "--set", "timing_update_interval=10",
+]
+FAST_OVERRIDES = {
+    "max_iterations": 60,
+    "timing_start_iteration": 20,
+    "min_timing_iterations": 20,
+    "timing_update_interval": 10,
+}
+
+
+def _fast_jobs(preset="efficient_tdp", seeds=(0,)):
+    overrides = (
+        dict(FAST_OVERRIDES) if preset == "efficient_tdp" else {"max_iterations": 60}
+    )
+    return [
+        BatchJob(
+            design=name,
+            preset=preset,
+            seed=seed,
+            scale=0.2,
+            overrides=dict(overrides),
+        )
+        for name in ["sb_mini_18", "sb_mini_4", "sb_mini_16", "sb_mini_1"]
+        for seed in seeds
+    ]
+
+
+class TestRunBatch:
+    def test_four_designs_concurrently(self):
+        """Acceptance: >= 4 synthetic designs run concurrently with a report."""
+        report = run_batch(_fast_jobs(), max_workers=4)
+        assert len(report.items) == 4
+        assert report.num_ok == 4
+        assert report.max_workers == 4
+        aggregate = report.aggregate()
+        assert aggregate["ok"] == 4
+        assert aggregate["overall"]["runs"] == 4
+        assert aggregate["overall"]["mean_hpwl"] > 0
+
+    def test_per_design_seeds_respected(self):
+        report = run_batch(_fast_jobs(preset="dreamplace", seeds=(3, 4)), max_workers=4)
+        assert len(report.items) == 8
+        seeds = {(item.design, item.seed) for item in report.items}
+        assert ("sb_mini_18", 3) in seeds and ("sb_mini_18", 4) in seeds
+        for item in report.items:
+            assert item.ok
+            assert item.summary["seed"] == item.seed
+
+    def test_seed_changes_result(self):
+        jobs = [
+            BatchJob("sb_mini_18", preset="dreamplace", seed=s, scale=0.2,
+                     overrides={"max_iterations": 60})
+            for s in (0, 1)
+        ]
+        report = run_batch(jobs, max_workers=2)
+        hpwls = [item.summary["hpwl"] for item in report.items]
+        assert hpwls[0] != hpwls[1]
+
+    def test_failures_are_contained(self):
+        jobs = [
+            BatchJob("sb_mini_18", preset="dreamplace", scale=0.2,
+                     overrides={"max_iterations": 40}),
+            BatchJob("sb_mini_18", preset="dreamplace",
+                     overrides={"no_such_field": 1}),
+        ]
+        report = run_batch(jobs, max_workers=2)
+        assert report.num_ok == 1
+        assert report.num_failed == 1
+        failed = next(item for item in report.items if not item.ok)
+        assert "no_such_field" in failed.error
+        assert report.aggregate()["failed"] == 1
+
+    def test_json_round_trip(self, tmp_path):
+        report = run_batch(_fast_jobs(preset="dreamplace"), max_workers=4)
+        path = report.to_json(str(tmp_path / "batch.json"))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        assert payload["aggregate"]["jobs"] == 4
+        assert len(payload["items"]) == 4
+        assert all(item["summary"]["hpwl"] > 0 for item in payload["items"])
+
+    def test_format_table_mentions_every_job(self):
+        report = run_batch(_fast_jobs(preset="dreamplace"), max_workers=4)
+        table = report.format_table()
+        for item in report.items:
+            assert item.label in table
+
+    def test_process_executor(self):
+        report = run_batch(
+            _fast_jobs(preset="dreamplace")[:2], max_workers=2, executor="process"
+        )
+        assert report.num_ok == 2
+        assert report.executor == "process"
+
+    def test_conflicting_seed_override_rejected_up_front(self):
+        jobs = _fast_jobs(preset="dreamplace")
+        jobs.append(BatchJob("sb_mini_18", preset="dreamplace", seed=1,
+                             overrides={"seed": 2}))
+        with pytest.raises(ValueError, match="conflicts with job.seed"):
+            run_batch(jobs, max_workers=2)
+
+    def test_matching_seed_override_allowed(self):
+        report = run_batch(
+            [BatchJob("sb_mini_18", preset="dreamplace", seed=7, scale=0.2,
+                      overrides={"seed": 7, "max_iterations": 40})],
+            max_workers=1,
+        )
+        assert report.num_ok == 1
+        assert report.items[0].summary["seed"] == 7
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch([])
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_batch(_fast_jobs()[:1], executor="fork_bomb")
+
+
+class TestCLIParsing:
+    def test_parse_value_types(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("2.5e-5") == pytest.approx(2.5e-5)
+        assert _parse_value("true") is True
+        assert _parse_value("False") is False
+        assert _parse_value("quadratic") == "quadratic"
+
+    def test_parse_overrides(self):
+        assert _parse_overrides(["a=1", "b=x"]) == {"a": 1, "b": "x"}
+        with pytest.raises(SystemExit):
+            _parse_overrides(["oops"])
+
+
+class TestCLICommands:
+    def test_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        code = main(["run", "sb_mini_18", "--preset", "efficient_tdp",
+                     "--scale", "0.2", "--json", str(out), *FAST_SET])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["design"] == "sb_mini_18"
+        assert payload["flow"] == "efficient_tdp"
+        assert "hpwl" in payload
+        assert "hpwl" in capsys.readouterr().out
+
+    def test_batch_four_designs(self, tmp_path, capsys):
+        out = tmp_path / "batch.json"
+        code = main([
+            "batch", "sb_mini_18", "sb_mini_4", "sb_mini_16", "sb_mini_1",
+            "--preset", "dreamplace", "--scale", "0.2", "--jobs", "4",
+            "--set", "max_iterations=60", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["aggregate"]["jobs"] == 4
+        assert payload["aggregate"]["ok"] == 4
+        assert "Batch: 4/4 ok" in capsys.readouterr().out
+
+    def test_batch_unknown_design_exits(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "not_a_design"])
+
+    def test_batch_without_designs_exits(self):
+        with pytest.raises(SystemExit):
+            main(["batch"])
+
+    def test_sweep(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "sb_mini_18", "--preset", "dreamplace", "--scale", "0.2",
+            "--param", "max_iterations", "--values", "30,60",
+            "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        labels = [item["label"] for item in payload["items"]]
+        assert labels == ["max_iterations=30", "max_iterations=60"]
+
+    def test_compare_runs_all_presets(self, tmp_path):
+        out = tmp_path / "compare.json"
+        code = main([
+            "compare", "sb_mini_18", "--scale", "0.15", "--jobs", "4",
+            *FAST_SET, "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        presets = {item["preset"] for item in payload["items"]}
+        assert presets == {
+            "efficient_tdp", "dreamplace", "dreamplace4", "differentiable_tdp",
+        }
+        assert payload["aggregate"]["failed"] == 0
