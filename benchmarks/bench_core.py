@@ -1,0 +1,131 @@
+"""Micro-benchmark of the array-first design core (perf trajectory anchor).
+
+Measures, for a few sb_mini designs:
+
+* design build time (synthetic generation + finalize);
+* ``CompiledDesign`` snapshot: compile time, pickle size/time versus pickling
+  the full object graph, and worker-side rebuild (``to_design``) time;
+* STA update cost: full pass versus incremental pass after a small
+  perturbation (1% of movable cells moved).
+
+Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
+successive PRs can track the numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py [--designs sb_mini_18,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchgen.suite import load_benchmark
+from repro.netlist.compiled import compile_design
+from repro.timing.sta import STAEngine
+
+DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10"]
+
+
+def _time(fn, repeat: int = 3):
+    """Best-of-N wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_design(name: str) -> dict:
+    build_seconds, design = _time(lambda: load_benchmark(name))
+
+    compile_seconds, compiled = _time(lambda: compile_design(design))
+    snapshot_pickle_seconds, snapshot_blob = _time(lambda: pickle.dumps(compiled))
+    design_pickle_seconds, design_blob = _time(lambda: pickle.dumps(design))
+    rebuild_seconds, _ = _time(lambda: pickle.loads(snapshot_blob).to_design())
+
+    engine = STAEngine(design, incremental=True)
+    full_seconds, _ = _time(lambda: engine.update_timing(incremental=False))
+
+    # Perturb 1% of movable cells and measure the incremental re-propagation.
+    core = design.core
+    rng = np.random.default_rng(0)
+    movable = core.movable_index
+    num_moved = max(1, movable.size // 100)
+    moved = rng.choice(movable, size=num_moved, replace=False)
+
+    def incremental_pass():
+        x, y = core.positions()
+        x[moved] += rng.uniform(-5.0, 5.0, size=moved.size)
+        y[moved] += rng.uniform(-5.0, 5.0, size=moved.size)
+        return engine.update_timing(x, y)
+
+    incremental_seconds, _ = _time(incremental_pass)
+
+    return {
+        "design": name,
+        "num_instances": design.num_instances,
+        "num_nets": design.num_nets,
+        "num_pins": design.num_pins,
+        "build_ms": round(build_seconds * 1e3, 3),
+        "compile_ms": round(compile_seconds * 1e3, 3),
+        "snapshot_pickle_ms": round(snapshot_pickle_seconds * 1e3, 3),
+        "snapshot_pickle_bytes": len(snapshot_blob),
+        "design_pickle_ms": round(design_pickle_seconds * 1e3, 3),
+        "design_pickle_bytes": len(design_blob),
+        "pickle_size_ratio": round(len(design_blob) / len(snapshot_blob), 2),
+        "snapshot_rebuild_ms": round(rebuild_seconds * 1e3, 3),
+        "sta_full_ms": round(full_seconds * 1e3, 3),
+        "sta_incremental_1pct_ms": round(incremental_seconds * 1e3, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--designs",
+        default=",".join(DEFAULT_DESIGNS),
+        help="comma-separated sb_mini names",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "results" / "BENCH_core.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    rows = [bench_design(name) for name in args.designs.split(",") if name]
+    payload = {
+        "benchmark": "design core / CompiledDesign / STA micro-benchmark",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "designs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    header = f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} {'ratio':>6} {'sta full':>9} {'sta incr':>9}"
+    print(header)
+    for row in rows:
+        print(
+            f"{row['design']:<12} {row['build_ms']:>7.1f}m {row['compile_ms']:>7.2f}m "
+            f"{row['snapshot_pickle_ms']:>7.2f}m {row['snapshot_rebuild_ms']:>7.1f}m "
+            f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
+            f"{row['sta_incremental_1pct_ms']:>8.2f}m"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

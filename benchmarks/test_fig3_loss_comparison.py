@@ -11,7 +11,6 @@ segment stay very long).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save_json, save_text

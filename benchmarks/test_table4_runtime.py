@@ -10,7 +10,6 @@ flow's.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import SUITE, save_json, save_text
 from repro.evaluation import average_ratio, format_table

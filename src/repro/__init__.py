@@ -38,7 +38,7 @@ from repro.flow import (
     preset_names,
     run_batch,
 )
-from repro.netlist import Design, Library, make_generic_library
+from repro.netlist import CompiledDesign, Design, DesignCore, Library, compile_design, make_generic_library
 from repro.placement import GlobalPlacer, PlacementConfig, AbacusLegalizer
 from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
 
@@ -68,6 +68,9 @@ __all__ = [
     "preset_names",
     "run_batch",
     "Design",
+    "DesignCore",
+    "CompiledDesign",
+    "compile_design",
     "Library",
     "make_generic_library",
     "GlobalPlacer",

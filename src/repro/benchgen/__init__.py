@@ -11,12 +11,13 @@ fan-out distributions.
 """
 
 from repro.benchgen.synthetic import CircuitSpec, generate_circuit
-from repro.benchgen.suite import SB_MINI_SUITE, load_benchmark, benchmark_names
+from repro.benchgen.suite import SB_MINI_SUITE, load_benchmark, load_compiled, benchmark_names
 
 __all__ = [
     "CircuitSpec",
     "generate_circuit",
     "SB_MINI_SUITE",
     "load_benchmark",
+    "load_compiled",
     "benchmark_names",
 ]

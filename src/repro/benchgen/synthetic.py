@@ -20,14 +20,14 @@ The same seed always yields the same design, so experiments are reproducible.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.netlist.design import Design
 from repro.netlist.library import Library, make_generic_library
-from repro.utils.rng import SeedLike, make_rng
+from repro.utils.rng import make_rng
 
 # Combinational masters the generator draws from, with sampling weights
 # roughly matching the gate mix of a mapped random-logic netlist.

@@ -18,7 +18,7 @@ regenerated directly from a flow run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.timing.report import (

@@ -16,11 +16,11 @@ This module implements Sec. III-A and III-D of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 from repro.core.losses import PairLoss, QuadraticLoss
 from repro.timing.graph import TimingGraph
 from repro.timing.report import TimingPath
@@ -126,17 +126,17 @@ class PinAttractionObjective:
 
     def __init__(
         self,
-        design: Design,
+        design,
         pairs: Optional[PinPairSet] = None,
         *,
         loss: Optional[PairLoss] = None,
         beta: float = 2.5e-5,
     ) -> None:
-        self.design = design
+        self.core = as_core(design)
         self.pairs = pairs if pairs is not None else PinPairSet()
         self.loss = loss if loss is not None else QuadraticLoss()
         self.weight = float(beta)
-        arrays = design.arrays
+        arrays = self.core
         self._pin_instance = arrays.pin_instance
         self._pin_offset_x = arrays.pin_offset_x
         self._pin_offset_y = arrays.pin_offset_y

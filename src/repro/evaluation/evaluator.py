@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.netlist.core import as_core
 from repro.netlist.design import Design
 from repro.placement.wirelength import total_hpwl
 from repro.timing.constraints import TimingConstraints
@@ -71,10 +72,11 @@ class Evaluator:
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
 
-        hpwl = total_hpwl(design, x, y)
+        core = design.core
+        hpwl = total_hpwl(core, x, y)
         result = self._engine.update_timing(x, y)
-        overlap = _row_overlap_area(design, x, y)
-        outside = _out_of_die_count(design, x, y)
+        overlap = _row_overlap_area(core, x, y)
+        outside = _out_of_die_count(core, x, y)
         return EvaluationReport(
             design_name=design.name,
             hpwl=hpwl,
@@ -103,9 +105,9 @@ def evaluate_placement(
     return Evaluator(design, constraints).evaluate(x, y)
 
 
-def _row_overlap_area(design: Design, x: np.ndarray, y: np.ndarray) -> float:
+def _row_overlap_area(design, x: np.ndarray, y: np.ndarray) -> float:
     """Total pairwise overlap area between movable cells sharing a row."""
-    arrays = design.arrays
+    arrays = as_core(design)
     movable = arrays.movable_index
     if movable.size == 0:
         return 0.0
@@ -124,10 +126,10 @@ def _row_overlap_area(design: Design, x: np.ndarray, y: np.ndarray) -> float:
     return overlap
 
 
-def _out_of_die_count(design: Design, x: np.ndarray, y: np.ndarray) -> int:
+def _out_of_die_count(design, x: np.ndarray, y: np.ndarray) -> int:
     """Number of movable cells whose footprint leaves the die area."""
-    arrays = design.arrays
-    die = design.die
+    arrays = as_core(design)
+    die = arrays.die
     movable = arrays.movable_index
     if movable.size == 0:
         return 0

@@ -3,12 +3,23 @@
 A :class:`BatchJob` names a benchmark, a flow preset, a seed, and optional
 config overrides; :func:`run_batch` fans the jobs out over a
 ``concurrent.futures`` pool and folds the per-design summaries into a
-:class:`BatchReport`.  Jobs are independent (each worker generates its own
-copy of the design), so both thread pools (default; the numpy kernels drop
-the GIL for the heavy parts) and process pools (fully parallel Python) work.
+:class:`BatchReport`.  Failures are contained: a job that raises is reported
+with its error string instead of aborting the batch.
 
-Failures are contained: a job that raises is reported with its error string
-instead of aborting the batch.
+How the design reaches each worker is controlled by ``ship``:
+
+* ``"generate"`` (default) — every worker regenerates its benchmark from the
+  spec.  No transfer cost, but the generation work is repeated per job.
+* ``"compiled"`` — the parent builds each unique (design, scale) once,
+  snapshots it into a :class:`repro.netlist.CompiledDesign` (array-only, no
+  object graph, ~10-30x smaller than pickling the design), and ships the
+  snapshot; workers rebuild the design index-for-index identical.
+* ``"shared"`` — like ``"compiled"``, but the snapshot's read-only arrays
+  are placed in ``multiprocessing.shared_memory``; workers attach instead of
+  receiving a copy.  Opt-in, same results bit for bit.
+
+Results are identical across all ship modes and both executors — the
+snapshot round-trip is exact, and every flow is deterministic given its seed.
 """
 
 from __future__ import annotations
@@ -19,12 +30,20 @@ import time
 import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.benchgen.suite import load_benchmark
+from repro.netlist.compiled import (
+    CompiledDesign,
+    SharedDesignHandle,
+    SharedDesignPack,
+    compile_design,
+)
 from repro.utils.logging import get_logger
 
 logger = get_logger("flow.batch")
+
+SHIP_MODES = ("generate", "compiled", "shared")
 
 
 @dataclass
@@ -85,6 +104,7 @@ class BatchReport:
     total_runtime_seconds: float
     max_workers: int
     executor: str
+    ship: str = "generate"
 
     @property
     def num_ok(self) -> int:
@@ -126,6 +146,7 @@ class BatchReport:
         return {
             "max_workers": self.max_workers,
             "executor": self.executor,
+            "ship": self.ship,
             "aggregate": self.aggregate(),
             "items": [item.as_dict() for item in self.items],
         }
@@ -159,15 +180,35 @@ class BatchReport:
         )
 
 
-def run_job(job: BatchJob) -> BatchItemResult:
-    """Execute one batch job in the current process/thread."""
+def _materialize_design(job: BatchJob, payload):
+    """Turn a job's shipped payload (or its name) into a fresh design."""
+    if payload is None:
+        return load_benchmark(job.design, scale=job.scale)
+    if isinstance(payload, CompiledDesign):
+        return payload.to_design()
+    if isinstance(payload, SharedDesignHandle):
+        loaded = payload.load()
+        try:
+            return loaded.compiled.to_design()
+        finally:
+            loaded.close()
+    raise TypeError(f"Unsupported batch payload type {type(payload).__name__}")
+
+
+def run_job(job: BatchJob, payload=None) -> BatchItemResult:
+    """Execute one batch job in the current process/thread.
+
+    ``payload`` optionally carries the design as a :class:`CompiledDesign`
+    snapshot or a :class:`SharedDesignHandle`; without it the benchmark is
+    regenerated from its spec.
+    """
     from repro.flow.presets import build_flow
 
     label = job.resolved_label()
     start = time.perf_counter()
     try:
         _check_job_seed(job)
-        design = load_benchmark(job.design, scale=job.scale)
+        design = _materialize_design(job, payload)
         overrides = dict(job.overrides)
         overrides["seed"] = job.seed
         runner = build_flow(job.preset, **overrides)
@@ -214,20 +255,55 @@ def _make_executor(kind: str, max_workers: int) -> Executor:
     raise ValueError(f"executor must be 'thread' or 'process', got {kind!r}")
 
 
+def _build_payloads(
+    jobs: Sequence[BatchJob], ship: str, packs: List[SharedDesignPack]
+) -> List[Optional[object]]:
+    """Compile each unique (design, scale) once and map it onto the jobs.
+
+    Shared-memory packs are appended to ``packs`` as they are created, so the
+    caller's cleanup sees them even if a later job's benchmark fails to build.
+    """
+    payloads: List[Optional[object]] = [None] * len(jobs)
+    if ship == "generate":
+        return payloads
+    compiled_cache: Dict[Tuple[str, float], object] = {}
+    for position, job in enumerate(jobs):
+        key = (job.design, job.scale)
+        payload = compiled_cache.get(key)
+        if payload is None:
+            snapshot = compile_design(load_benchmark(job.design, scale=job.scale))
+            if ship == "shared":
+                pack = SharedDesignPack(snapshot)
+                packs.append(pack)
+                payload = pack.handle
+            else:
+                payload = snapshot
+            compiled_cache[key] = payload
+        payloads[position] = payload
+    return payloads
+
+
 def run_batch(
     jobs: Sequence[BatchJob],
     *,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    ship: str = "generate",
 ) -> BatchReport:
     """Run every job concurrently and aggregate a :class:`BatchReport`.
 
     ``executor="thread"`` (default) shares the process; ``"process"`` forks
-    workers (jobs are plain dataclasses, so they pickle cleanly).
+    workers (jobs are plain dataclasses, so they pickle cleanly).  ``ship``
+    selects how designs reach workers (see the module docstring): with
+    ``"compiled"`` each unique design is built once in the parent and shipped
+    as an array-only snapshot; ``"shared"`` additionally moves the snapshot
+    arrays into shared memory.
     """
     jobs = list(jobs)
     if not jobs:
         raise ValueError("run_batch needs at least one job")
+    if ship not in SHIP_MODES:
+        raise ValueError(f"ship must be one of {', '.join(SHIP_MODES)}, got {ship!r}")
     for job in jobs:
         # Validate up front: a malformed job should fail the batch before
         # any compute is spent, not after every other job has finished.
@@ -236,11 +312,18 @@ def run_batch(
         max_workers = min(len(jobs), os.cpu_count() or 4)
     max_workers = max(1, int(max_workers))
     start = time.perf_counter()
-    with _make_executor(executor, max_workers) as pool:
-        items = list(pool.map(run_job, jobs))
+    packs: List[SharedDesignPack] = []
+    try:
+        payloads = _build_payloads(jobs, ship, packs)
+        with _make_executor(executor, max_workers) as pool:
+            items = list(pool.map(run_job, jobs, payloads))
+    finally:
+        for pack in packs:
+            pack.close()
     return BatchReport(
         items=items,
         total_runtime_seconds=time.perf_counter() - start,
         max_workers=max_workers,
         executor=executor,
+        ship=ship,
     )

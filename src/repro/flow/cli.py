@@ -2,9 +2,13 @@
 
 Four subcommands over the flow pipeline:
 
-* ``repro run DESIGN``      — run one preset on one benchmark;
+* ``repro run DESIGN``      — run one preset on one benchmark
+  (``--profile`` writes a per-stage runtime breakdown JSON next to the
+  result);
 * ``repro batch D1 D2 ...`` — run many designs concurrently (``--all`` for
-  the whole sb_mini suite, ``--seeds N`` for seed replicates);
+  the whole sb_mini suite, ``--seeds N`` for seed replicates,
+  ``--ship compiled|shared`` to build each design once and ship array
+  snapshots to the workers);
 * ``repro compare DESIGN``  — run every preset on one design, side by side;
 * ``repro sweep DESIGN --param loss --values quadratic,linear`` — sweep one
   config field of a preset.
@@ -26,10 +30,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.benchgen.suite import benchmark_names
-from repro.flow.batch import BatchJob, run_batch
+from repro.flow.batch import SHIP_MODES, BatchJob, run_batch
 from repro.flow.presets import preset_names
 
 
@@ -105,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one flow preset on one benchmark")
     run_p.add_argument("design", help="benchmark name (see `repro batch --all`)")
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="write a per-stage runtime breakdown JSON next to the result",
+    )
     _add_common(run_p)
 
     batch_p = sub.add_parser("batch", help="run many designs concurrently")
@@ -122,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="seed replicates per design (seeds seed..seed+N-1)",
+    )
+    batch_p.add_argument(
+        "--ship",
+        default="generate",
+        choices=list(SHIP_MODES),
+        help="how designs reach workers: regenerate per worker (default), "
+        "ship a compiled array snapshot, or share snapshot arrays via "
+        "shared memory",
     )
     _add_common(batch_p)
 
@@ -159,7 +176,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for key, value in summary.items():
         print(f"{key:<{width}}  {value}")
     _emit_json(summary, args.json_path)
+    if args.profile:
+        profile_path = _profile_path(args)
+        _emit_json(_profile_payload(args, result, summary), profile_path)
     return 0
+
+
+def _profile_path(args: argparse.Namespace) -> str:
+    """Place the profile next to the result JSON (or name it after the run)."""
+    if args.json_path:
+        base = args.json_path
+        if base.endswith(".json"):
+            base = base[: -len(".json")]
+        return base + ".profile.json"
+    return f"{args.design}_{args.preset}.profile.json"
+
+
+def _profile_payload(
+    args: argparse.Namespace, result, summary: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-stage wall-clock plus the profiler's component breakdown."""
+    return {
+        "design": args.design,
+        "flow": summary.get("flow"),
+        "seed": summary.get("seed"),
+        "runtime_sec": summary.get("runtime_sec"),
+        "stage_seconds": {
+            name: round(seconds, 6) for name, seconds in result.stage_seconds.items()
+        },
+        "components": {
+            name: round(seconds, 6)
+            for name, seconds in result.profiler.breakdown(
+                total_elapsed=result.runtime_seconds
+            ).items()
+        },
+    }
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -179,7 +230,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for design in designs
         for replicate in range(max(1, args.seeds))
     ]
-    report = run_batch(jobs, max_workers=args.jobs, executor=args.executor)
+    report = run_batch(
+        jobs, max_workers=args.jobs, executor=args.executor, ship=args.ship
+    )
     print(report.format_table())
     _emit_json(report.as_dict(), args.json_path)
     return 0 if report.num_failed == 0 else 1

@@ -6,6 +6,11 @@ Public API:
   :class:`TimingArcSpec` — standard-cell library model.
 * :class:`Design`, :class:`Instance`, :class:`Net`, :class:`PinRef`, :class:`Row` —
   flat gate-level design with floorplan and placement state.
+* :class:`DesignCore` — the array-first core every compute layer reads
+  (``Instance``/``Net`` are index-backed views onto it after ``finalize()``).
+* :class:`CompiledDesign` / :func:`compile_design` — frozen, picklable,
+  array-only snapshots for shipping designs across processes (with an
+  opt-in :class:`SharedDesignPack` shared-memory transport).
 * :func:`make_generic_library` — small generic library used by the synthetic
   benchmarks and tests.
 * Parsers/writers for simplified LEF/DEF/Verilog/Liberty/SDC/Bookshelf views
@@ -20,7 +25,14 @@ from repro.netlist.library import (
     TimingArcSpec,
     make_generic_library,
 )
-from repro.netlist.design import Design, DesignArrays, Instance, Net, PinRef, Row
+from repro.netlist.core import DesignCore, Row, as_core
+from repro.netlist.design import Design, DesignArrays, Instance, Net, PinRef
+from repro.netlist.compiled import (
+    CompiledDesign,
+    SharedDesignHandle,
+    SharedDesignPack,
+    compile_design,
+)
 
 __all__ = [
     "CellType",
@@ -31,6 +43,12 @@ __all__ = [
     "make_generic_library",
     "Design",
     "DesignArrays",
+    "DesignCore",
+    "as_core",
+    "CompiledDesign",
+    "SharedDesignHandle",
+    "SharedDesignPack",
+    "compile_design",
     "Instance",
     "Net",
     "PinRef",

@@ -1,0 +1,347 @@
+"""Frozen, array-only design snapshots for process-scale batching.
+
+A :class:`CompiledDesign` is a picklable snapshot of a finalized
+:class:`repro.netlist.design.Design`: flat NumPy arrays plus name tables and
+the (small) cell library — no ``Instance``/``PinRef``/``Net`` object graph,
+no circular references.  It serves two jobs:
+
+* **cheap shipping** — pickling a snapshot is an order of magnitude smaller
+  and faster than pickling the full object graph, so the batch runner can
+  build a design once in the parent and fan it out to process workers;
+* **zero-copy sharing** — :class:`SharedDesignPack` places the snapshot's
+  read-only arrays in :mod:`multiprocessing.shared_memory`, so workers on
+  the same host attach instead of receiving a copy.
+
+Reconstruction (:meth:`CompiledDesign.to_design`) replays the normal design
+construction API in the recorded order, so the rebuilt design is
+index-for-index and bit-for-bit identical to the original: same instance,
+pin, and net indices, same CSR pin ordering, same positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclasses_fields, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.design import (
+    PORT_INPUT_CELL_NAME,
+    Design,
+)
+from repro.netlist.library import CellType, Library, PinDirection
+
+# Snapshot attributes holding NumPy arrays (the shared-memory payload).
+_ARRAY_FIELDS: Tuple[str, ...] = (
+    "x",
+    "y",
+    "inst_cell_id",
+    "inst_fixed",
+    "inst_is_port",
+    "inst_pin_offsets",
+    "net_pin_offsets",
+    "net_pin_index",
+    "net_weight",
+)
+
+
+def _rebuild_compiled(blob: bytes) -> "CompiledDesign":
+    """Inverse of :meth:`CompiledDesign.__reduce__`."""
+    import pickle
+    import zlib
+
+    state = pickle.loads(zlib.decompress(blob))
+    for name in _ARRAY_FIELDS:
+        arr = state[name]
+        if arr is not None and arr.dtype == np.int32:
+            state[name] = arr.astype(np.int64)
+    return CompiledDesign(**state)
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledDesign:
+    """Array-only snapshot of a finalized design (picklable, no object graph)."""
+
+    name: str
+    die: Tuple[float, float, float, float]
+    row_height: float
+    site_width: float
+    clock_period: Optional[float]
+    clock_name: str
+    clock_port: Optional[str]
+    input_delays: Dict[str, float]
+    output_delays: Dict[str, float]
+    library: Library
+    cell_types: Tuple[CellType, ...]
+    instance_names: Tuple[str, ...]
+    net_names: Tuple[str, ...]
+    orientations: Optional[Tuple[str, ...]]
+    x: np.ndarray
+    y: np.ndarray
+    inst_cell_id: np.ndarray
+    inst_fixed: np.ndarray
+    inst_is_port: np.ndarray
+    inst_pin_offsets: np.ndarray
+    net_pin_offsets: np.ndarray
+    net_pin_index: np.ndarray
+    net_weight: np.ndarray
+
+    def __reduce__(self):
+        """Compact wire format: index arrays downcast to int32, state deflated.
+
+        The in-memory layout is untouched (int64 indices, plain tuples); only
+        the pickle payload shrinks — connectivity and name tables are highly
+        repetitive, so this is where the >=10x size win over pickling the
+        object graph comes from.
+        """
+        import pickle
+        import zlib
+
+        state = {
+            f.name: getattr(self, f.name) for f in dataclasses_fields(type(self))
+        }
+        for name in _ARRAY_FIELDS:
+            arr = state[name]
+            if (
+                arr is not None
+                and arr.dtype == np.int64
+                and (arr.size == 0 or (arr.min() >= np.iinfo(np.int32).min and arr.max() <= np.iinfo(np.int32).max))
+            ):
+                state[name] = arr.astype(np.int32)
+        blob = zlib.compress(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL), 6)
+        return (_rebuild_compiled, (blob,))
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instance_names)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def num_pins(self) -> int:
+        return int(self.inst_pin_offsets[-1])
+
+    def array_nbytes(self) -> int:
+        """Total byte size of the array payload."""
+        return sum(getattr(self, name).nbytes for name in _ARRAY_FIELDS)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def to_design(self) -> Design:
+        """Rebuild a finalized :class:`Design` identical to the compiled one."""
+        design = Design(
+            self.name,
+            die=self.die,
+            library=self.library,
+            row_height=self.row_height,
+            site_width=self.site_width,
+        )
+        orientations = self.orientations
+        x = self.x
+        y = self.y
+        fixed = self.inst_fixed
+        is_port = self.inst_is_port
+        cell_ids = self.inst_cell_id
+        for i, inst_name in enumerate(self.instance_names):
+            cell = self.cell_types[cell_ids[i]]
+            if is_port[i]:
+                direction = (
+                    PinDirection.INPUT
+                    if cell.name == PORT_INPUT_CELL_NAME
+                    else PinDirection.OUTPUT
+                )
+                design.add_port(inst_name, direction, x=x[i], y=y[i])
+            else:
+                design.add_instance(
+                    inst_name,
+                    cell,
+                    x=x[i],
+                    y=y[i],
+                    fixed=bool(fixed[i]),
+                    orientation=orientations[i] if orientations is not None else "N",
+                )
+
+        net_objs = [design.add_net(net_name) for net_name in self.net_names]
+
+        # Pin index -> (owner instance, local pin name): pins of instance i
+        # are the contiguous block inst_pin_offsets[i]:inst_pin_offsets[i+1]
+        # in the master's pin-declaration order.
+        pin_owner = (
+            np.searchsorted(self.inst_pin_offsets, self.net_pin_index, side="right") - 1
+        )
+        pin_names_by_cell: List[List[str]] = [
+            list(cell.pins.keys()) for cell in self.cell_types
+        ]
+        instances = design.instances
+        offsets = self.net_pin_offsets
+        for e, net in enumerate(net_objs):
+            for k in range(int(offsets[e]), int(offsets[e + 1])):
+                pin_index = int(self.net_pin_index[k])
+                owner = int(pin_owner[k])
+                local = pin_index - int(self.inst_pin_offsets[owner])
+                pin_name = pin_names_by_cell[int(cell_ids[owner])][local]
+                design.connect(net, instances[owner], pin_name)
+
+        design.clock_period = self.clock_period
+        design.clock_name = self.clock_name
+        design.clock_port = self.clock_port
+        design.input_delays = dict(self.input_delays)
+        design.output_delays = dict(self.output_delays)
+        design.finalize()
+
+        core = design.core
+        if core.num_pins != self.num_pins or not np.array_equal(
+            core.net_pin_index, self.net_pin_index
+        ):
+            raise RuntimeError(
+                f"CompiledDesign {self.name}: reconstruction produced a different "
+                "pin/net layout than the snapshot records"
+            )
+        core.net_weight[:] = self.net_weight
+        return design
+
+
+def compile_design(design: Design) -> CompiledDesign:
+    """Snapshot a finalized design into a :class:`CompiledDesign`."""
+    core = design.core
+    orientations: Optional[Tuple[str, ...]] = tuple(
+        inst.orientation for inst in design.instances
+    )
+    if all(o == "N" for o in orientations):
+        orientations = None  # the common case costs nothing in the pickle
+    die = design.die
+    return CompiledDesign(
+        name=design.name,
+        die=(die.xl, die.yl, die.xh, die.yh),
+        row_height=design.row_height,
+        site_width=design.site_width,
+        clock_period=design.clock_period,
+        clock_name=design.clock_name,
+        clock_port=design.clock_port,
+        input_delays=dict(design.input_delays),
+        output_delays=dict(design.output_delays),
+        library=design.library,
+        cell_types=core.cell_types,
+        instance_names=tuple(inst.name for inst in design.instances),
+        net_names=tuple(net.name for net in design.nets),
+        orientations=orientations,
+        x=core.x.copy(),
+        y=core.y.copy(),
+        inst_cell_id=core.inst_cell_id,
+        inst_fixed=core.inst_fixed,
+        inst_is_port=core.inst_is_port,
+        inst_pin_offsets=core.inst_pin_offsets,
+        net_pin_offsets=core.net_pin_offsets,
+        net_pin_index=core.net_pin_index,
+        net_weight=core.net_weight.copy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport (opt-in)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ArraySpec:
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedDesignHandle:
+    """Small picklable ticket a worker uses to attach a shared snapshot."""
+
+    shm_name: str
+    specs: Dict[str, _ArraySpec]
+    payload: CompiledDesign  # snapshot with the array fields stripped to None
+
+    def load(self) -> "LoadedSharedDesign":
+        """Attach the shared block and materialize a zero-copy snapshot.
+
+        The returned object must be kept alive (and then closed) while the
+        snapshot's arrays are in use — they are views into the shared block.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, spec in self.specs.items():
+            count = int(np.prod(spec.shape)) if spec.shape else 1
+            arr = np.frombuffer(
+                shm.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+            ).reshape(spec.shape)
+            arr.flags.writeable = False
+            arrays[name] = arr
+        return LoadedSharedDesign(replace(self.payload, **arrays), shm)
+
+
+class LoadedSharedDesign:
+    """A shared snapshot attached in this process; close after use."""
+
+    def __init__(self, compiled: CompiledDesign, shm) -> None:
+        self.compiled = compiled
+        self._shm = shm
+
+    def close(self) -> None:
+        if self._shm is not None:
+            # Drop the numpy views before closing the mapping (required on
+            # CPython: memoryview exports keep the buffer pinned).
+            self.compiled = None  # type: ignore[assignment]
+            self._shm.close()
+            self._shm = None
+
+    def __enter__(self) -> CompiledDesign:
+        return self.compiled
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SharedDesignPack:
+    """Parent-side owner of one snapshot's shared-memory block.
+
+    Usage::
+
+        pack = SharedDesignPack(compile_design(design))
+        pool.submit(worker, pack.handle)   # handle pickles in O(names)
+        ...
+        pack.close()                       # after all workers are done
+    """
+
+    def __init__(self, compiled: CompiledDesign) -> None:
+        from multiprocessing import shared_memory
+
+        specs: Dict[str, _ArraySpec] = {}
+        offset = 0
+        for name in _ARRAY_FIELDS:
+            arr = getattr(compiled, name)
+            # Align each array to 8 bytes so typed views stay aligned.
+            offset = (offset + 7) & ~7
+            specs[name] = _ArraySpec(arr.dtype.str, tuple(arr.shape), offset)
+            offset += arr.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name in _ARRAY_FIELDS:
+            arr = getattr(compiled, name)
+            spec = specs[name]
+            dest = np.frombuffer(
+                self._shm.buf, dtype=arr.dtype, count=arr.size, offset=spec.offset
+            ).reshape(arr.shape)
+            dest[...] = arr
+        self.handle = SharedDesignHandle(
+            shm_name=self._shm.name,
+            specs=specs,
+            payload=replace(compiled, **{name: None for name in _ARRAY_FIELDS}),
+        )
+
+    def close(self) -> None:
+        """Release the shared block (close + unlink). Idempotent."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None

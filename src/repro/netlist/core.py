@@ -1,0 +1,420 @@
+"""Array-first design core: the single source of truth for design state.
+
+:class:`DesignCore` owns every per-instance / per-pin / per-net quantity as a
+contiguous NumPy array.  After :meth:`repro.netlist.design.Design.finalize`,
+the Python objects (``Instance``, ``PinRef``, ``Net``) become thin
+index-backed *views* onto these arrays — writing ``inst.x`` writes
+``core.x[inst.index]`` and vice versa — so every compute layer (placement,
+STA, evaluation) reads and writes flat arrays with no object-graph traffic.
+
+The core is deliberately object-free on the hot paths: positions, pin
+positions, HPWL, and utilization are O(1) views or single vectorized kernels.
+The only references to Python objects it keeps are the :class:`CellType`
+masters (one per distinct library cell, used by the timing-graph builder for
+arc specs) — never per-instance objects.
+
+Array layout
+------------
+
+Instances, pins, and nets are indexed consistently with
+``Design.instances`` / ``Design.pins`` / ``Design.nets``.  Pins of instance
+``i`` are the contiguous range ``inst_pin_offsets[i]:inst_pin_offsets[i+1]``
+(in the cell master's pin-declaration order).  The pins of net ``e`` are
+``net_pin_index[net_pin_offsets[e]:net_pin_offsets[e+1]]`` (CSR layout, in
+connection order, which fixes the driver/sink ordering the timing graph
+relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.geometry import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.design import Design
+    from repro.netlist.library import CellType
+
+
+@dataclass(frozen=True)
+class Row:
+    """A placement row (used by row-based legalization)."""
+
+    index: int
+    y: float
+    xl: float
+    xh: float
+    height: float
+    site_width: float
+
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def num_sites(self) -> int:
+        return int(self.width // self.site_width)
+
+
+def build_rows(die: Rect, row_height: float, site_width: float) -> List[Row]:
+    """Placement rows filling ``die`` from bottom to top."""
+    rows: List[Row] = []
+    y = die.yl
+    index = 0
+    while y + row_height <= die.yh + 1e-9:
+        rows.append(
+            Row(
+                index=index,
+                y=y,
+                xl=die.xl,
+                xh=die.xh,
+                height=row_height,
+                site_width=site_width,
+            )
+        )
+        y += row_height
+        index += 1
+    return rows
+
+
+def as_core(design_or_core) -> "DesignCore":
+    """Accept either a finalized ``Design`` or a ``DesignCore``.
+
+    Every array consumer (wirelength, density, legalization, evaluation, wire
+    RC) goes through this so it can be fed a bare core — e.g. one
+    reconstructed from a :class:`repro.netlist.compiled.CompiledDesign` —
+    without a full object-model design wrapped around it.
+    """
+    core = getattr(design_or_core, "core", None)
+    return core if core is not None else design_or_core
+
+
+class DesignCore:
+    """Flat array state of one finalized design.
+
+    Mutable state is exactly ``x``, ``y`` (cell positions) and ``net_weight``;
+    everything else is topology/geometry frozen at finalize time.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        die: Rect,
+        row_height: float,
+        site_width: float,
+        wire_resistance_per_unit: float,
+        wire_capacitance_per_unit: float,
+        x: np.ndarray,
+        y: np.ndarray,
+        inst_width: np.ndarray,
+        inst_height: np.ndarray,
+        inst_fixed: np.ndarray,
+        inst_is_port: np.ndarray,
+        inst_is_sequential: np.ndarray,
+        inst_cell_id: np.ndarray,
+        inst_pin_offsets: np.ndarray,
+        cell_types: Tuple["CellType", ...],
+        pin_instance: np.ndarray,
+        pin_offset_x: np.ndarray,
+        pin_offset_y: np.ndarray,
+        pin_net: np.ndarray,
+        pin_capacitance: np.ndarray,
+        pin_is_driver: np.ndarray,
+        pin_is_clock: np.ndarray,
+        pin_is_input: np.ndarray,
+        pin_is_output: np.ndarray,
+        net_pin_offsets: np.ndarray,
+        net_pin_index: np.ndarray,
+        net_weight: np.ndarray,
+    ) -> None:
+        self.name = name
+        self.die = die
+        self.row_height = float(row_height)
+        self.site_width = float(site_width)
+        self.wire_resistance_per_unit = float(wire_resistance_per_unit)
+        self.wire_capacitance_per_unit = float(wire_capacitance_per_unit)
+
+        self.x = np.ascontiguousarray(x, dtype=np.float64)
+        self.y = np.ascontiguousarray(y, dtype=np.float64)
+        self.inst_width = np.ascontiguousarray(inst_width, dtype=np.float64)
+        self.inst_height = np.ascontiguousarray(inst_height, dtype=np.float64)
+        self.inst_fixed = np.ascontiguousarray(inst_fixed, dtype=bool)
+        self.inst_is_port = np.ascontiguousarray(inst_is_port, dtype=bool)
+        self.inst_is_sequential = np.ascontiguousarray(inst_is_sequential, dtype=bool)
+        self.inst_cell_id = np.ascontiguousarray(inst_cell_id, dtype=np.int64)
+        self.inst_pin_offsets = np.ascontiguousarray(inst_pin_offsets, dtype=np.int64)
+        self.cell_types = tuple(cell_types)
+        self.inst_area = self.inst_width * self.inst_height
+
+        self.pin_instance = np.ascontiguousarray(pin_instance, dtype=np.int64)
+        self.pin_offset_x = np.ascontiguousarray(pin_offset_x, dtype=np.float64)
+        self.pin_offset_y = np.ascontiguousarray(pin_offset_y, dtype=np.float64)
+        self.pin_net = np.ascontiguousarray(pin_net, dtype=np.int64)
+        self.pin_capacitance = np.ascontiguousarray(pin_capacitance, dtype=np.float64)
+        self.pin_is_driver = np.ascontiguousarray(pin_is_driver, dtype=bool)
+        self.pin_is_clock = np.ascontiguousarray(pin_is_clock, dtype=bool)
+        self.pin_is_input = np.ascontiguousarray(pin_is_input, dtype=bool)
+        self.pin_is_output = np.ascontiguousarray(pin_is_output, dtype=bool)
+
+        self.net_pin_offsets = np.ascontiguousarray(net_pin_offsets, dtype=np.int64)
+        self.net_pin_index = np.ascontiguousarray(net_pin_index, dtype=np.int64)
+        self.net_weight = np.ascontiguousarray(net_weight, dtype=np.float64)
+
+        self.num_instances = int(self.x.size)
+        self.num_pins = int(self.pin_instance.size)
+        self.num_nets = int(self.net_pin_offsets.size - 1)
+
+        self.movable_mask = ~self.inst_fixed
+        self.movable_index = np.nonzero(self.movable_mask)[0]
+
+        self._rows_cache: Optional[List[Row]] = None
+        self._rows_cache_key: Optional[Tuple[float, ...]] = None
+        self._csr_net: Optional[np.ndarray] = None
+        self._net_driver_pin: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_design(cls, design: "Design") -> "DesignCore":
+        """One-time conversion of a design's object graph into flat arrays.
+
+        This is the only place the object graph is walked; every later query
+        is a pure array operation.
+        """
+        insts = design.instances
+        pins = design.pins
+        nets = design.nets
+
+        cell_ids: dict = {}
+        cell_types: List["CellType"] = []
+        inst_cell_id = np.zeros(len(insts), dtype=np.int64)
+        for i, inst in enumerate(insts):
+            key = id(inst.cell)
+            cid = cell_ids.get(key)
+            if cid is None:
+                cid = len(cell_types)
+                cell_ids[key] = cid
+                cell_types.append(inst.cell)
+            inst_cell_id[i] = cid
+
+        inst_pin_offsets = np.zeros(len(insts) + 1, dtype=np.int64)
+        for inst in insts:
+            inst_pin_offsets[inst.index + 1] = len(inst.cell.pins)
+        np.cumsum(inst_pin_offsets, out=inst_pin_offsets)
+
+        offsets = np.zeros(len(nets) + 1, dtype=np.int64)
+        for net in nets:
+            offsets[net.index + 1] = len(net.pins)
+        np.cumsum(offsets, out=offsets)
+        index = np.zeros(int(offsets[-1]), dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for net in nets:
+            for pin in net.pins:
+                index[cursor[net.index]] = pin.index
+                cursor[net.index] += 1
+
+        return cls(
+            name=design.name,
+            die=design.die,
+            row_height=design.row_height,
+            site_width=design.site_width,
+            wire_resistance_per_unit=design.library.wire_resistance_per_unit,
+            wire_capacitance_per_unit=design.library.wire_capacitance_per_unit,
+            x=np.array([i.x for i in insts], dtype=np.float64),
+            y=np.array([i.y for i in insts], dtype=np.float64),
+            inst_width=np.array([i.width for i in insts], dtype=np.float64),
+            inst_height=np.array([i.height for i in insts], dtype=np.float64),
+            inst_fixed=np.array([i.fixed for i in insts], dtype=bool),
+            inst_is_port=np.array([i.is_port for i in insts], dtype=bool),
+            inst_is_sequential=np.array([i.is_sequential for i in insts], dtype=bool),
+            inst_cell_id=inst_cell_id,
+            inst_pin_offsets=inst_pin_offsets,
+            cell_types=tuple(cell_types),
+            pin_instance=np.array([p.instance.index for p in pins], dtype=np.int64),
+            pin_offset_x=np.array([p.lib_pin.offset_x for p in pins], dtype=np.float64),
+            pin_offset_y=np.array([p.lib_pin.offset_y for p in pins], dtype=np.float64),
+            pin_net=np.array(
+                [p.net.index if p.net is not None else -1 for p in pins], dtype=np.int64
+            ),
+            pin_capacitance=np.array([p.capacitance for p in pins], dtype=np.float64),
+            pin_is_driver=np.array([p.is_driver for p in pins], dtype=bool),
+            pin_is_clock=np.array([p.lib_pin.is_clock for p in pins], dtype=bool),
+            pin_is_input=np.array([p.lib_pin.is_input for p in pins], dtype=bool),
+            pin_is_output=np.array([p.lib_pin.is_output for p in pins], dtype=bool),
+            net_pin_offsets=offsets,
+            net_pin_index=index,
+            net_weight=np.array([n.weight for n in nets], dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Positions
+    # ------------------------------------------------------------------
+    def positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of the instance lower-left coordinates.
+
+        Copies, not views: callers (optimizers, legalizers) treat the result
+        as scratch space, and the core's state must only change through
+        :meth:`set_positions` or per-instance view writes.
+        """
+        return self.x.copy(), self.y.copy()
+
+    def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Write back positions for movable instances (fixed cells kept)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != (self.num_instances,) or y.shape != (self.num_instances,):
+            raise ValueError("Position arrays must have one entry per instance")
+        np.copyto(self.x, x, where=self.movable_mask)
+        np.copyto(self.y, y, where=self.movable_mask)
+
+    def pin_positions(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Absolute pin coordinates for instance positions ``(x, y)``."""
+        if x is None or y is None:
+            x, y = self.x, self.y
+        px = x[self.pin_instance] + self.pin_offset_x
+        py = y[self.pin_instance] + self.pin_offset_y
+        return px, py
+
+    # ------------------------------------------------------------------
+    # Connectivity helpers
+    # ------------------------------------------------------------------
+    def net_pins(self, net_index: int) -> np.ndarray:
+        start = self.net_pin_offsets[net_index]
+        end = self.net_pin_offsets[net_index + 1]
+        return self.net_pin_index[start:end]
+
+    def instance_pins(self, inst_index: int) -> np.ndarray:
+        start = self.inst_pin_offsets[inst_index]
+        end = self.inst_pin_offsets[inst_index + 1]
+        return np.arange(start, end, dtype=np.int64)
+
+    @property
+    def csr_net(self) -> np.ndarray:
+        """Net id of every ``net_pin_index`` entry (net-major CSR expansion).
+
+        Cached: the topology is frozen, and the timing graph, wire-RC model,
+        and smooth-wirelength model all consume this same array.
+        """
+        if self._csr_net is None:
+            self._csr_net = np.repeat(
+                np.arange(self.num_nets, dtype=np.int64),
+                np.diff(self.net_pin_offsets),
+            )
+        return self._csr_net
+
+    @property
+    def net_driver_pin(self) -> np.ndarray:
+        """Driver pin index per net (-1 when undriven); cached, do not mutate.
+
+        Well defined after finalize: multi-driver nets are rejected there.
+        """
+        if self._net_driver_pin is None:
+            driver = np.full(self.num_nets, -1, dtype=np.int64)
+            mask = self.pin_is_driver[self.net_pin_index]
+            driver[self.csr_net[mask]] = self.net_pin_index[mask]
+            self._net_driver_pin = driver
+        return self._net_driver_pin
+
+    # ------------------------------------------------------------------
+    # Geometry kernels
+    # ------------------------------------------------------------------
+    def hpwl_per_net(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Exact HPWL of every net in one vectorized pass (0 for degenerate nets)."""
+        pin_x, pin_y = self.pin_positions(x, y)
+        num_nets = self.num_nets
+        result = np.zeros(num_nets, dtype=np.float64)
+        offsets = self.net_pin_offsets
+        csr = self.net_pin_index
+        counts = np.diff(offsets)
+        valid = counts >= 2
+        if not np.any(valid):
+            return result
+        # reduceat needs non-empty segments; operate on valid nets only.
+        valid_ids = np.nonzero(valid)[0]
+        starts = offsets[:-1][valid_ids]
+        xmax = np.maximum.reduceat(pin_x[csr], starts)
+        xmin = np.minimum.reduceat(pin_x[csr], starts)
+        ymax = np.maximum.reduceat(pin_y[csr], starts)
+        ymin = np.minimum.reduceat(pin_y[csr], starts)
+        # reduceat with ``starts`` reduces from each start to the next start
+        # (or the end), which may span nets when invalid nets sit between
+        # valid ones.  That only happens for nets with <2 pins, which
+        # contribute their single pin; including it in the neighbouring
+        # segment would corrupt the result, so recompute those rare cases.
+        spans = np.append(starts[1:], csr.size) - starts
+        clean = spans == counts[valid_ids]
+        result[valid_ids[clean]] = (xmax - xmin + ymax - ymin)[clean]
+        for net_id in valid_ids[~clean]:
+            pins = self.net_pins(int(net_id))
+            px = pin_x[pins]
+            py = pin_y[pins]
+            result[net_id] = (px.max() - px.min()) + (py.max() - py.min())
+        return result
+
+    def total_hpwl(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        *,
+        net_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        """Total (optionally net-weighted) HPWL at positions ``(x, y)``."""
+        per_net = self.hpwl_per_net(x, y)
+        if net_weights is not None:
+            per_net = per_net * net_weights
+        return float(per_net.sum())
+
+    def utilization(self) -> float:
+        """Total non-port cell area divided by die area."""
+        if self.die.area <= 0:
+            return 0.0
+        return float(self.inst_area[~self.inst_is_port].sum()) / self.die.area
+
+    # ------------------------------------------------------------------
+    # Floorplan
+    # ------------------------------------------------------------------
+    def set_floorplan(
+        self,
+        *,
+        die: Optional[Rect] = None,
+        row_height: Optional[float] = None,
+        site_width: Optional[float] = None,
+    ) -> None:
+        """Update floorplan parameters (invalidates the cached rows)."""
+        if die is not None:
+            self.die = die
+        if row_height is not None:
+            self.row_height = float(row_height)
+        if site_width is not None:
+            self.site_width = float(site_width)
+
+    def _floorplan_key(self) -> Tuple[float, ...]:
+        die = self.die
+        return (die.xl, die.yl, die.xh, die.yh, self.row_height, self.site_width)
+
+    def rows(self) -> List[Row]:
+        """Placement rows, cached until the floorplan changes."""
+        key = self._floorplan_key()
+        if self._rows_cache is None or self._rows_cache_key != key:
+            self._rows_cache = build_rows(self.die, self.row_height, self.site_width)
+            self._rows_cache_key = key
+        return self._rows_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DesignCore({self.name}, instances={self.num_instances}, "
+            f"nets={self.num_nets}, pins={self.num_pins})"
+        )

@@ -5,26 +5,41 @@ subsystem:
 
 * the placement engine reads cell sizes and pin offsets as flat NumPy arrays
   and writes cell locations back;
-* the STA engine walks instances, their library timing arcs, and the nets
-  connecting them to build the timing graph;
+* the STA engine builds its timing graph from the same arrays plus the
+  library timing arcs;
 * parsers/writers translate between on-disk formats and this model.
 
 A design is built incrementally (``add_instance`` / ``add_net`` / ``connect``)
 and then :meth:`Design.finalize` freezes it, validating connectivity and
-building the vectorized views.  Cell positions remain mutable after
+building the :class:`repro.netlist.core.DesignCore` — the array-first single
+source of truth.  After finalize, ``Instance``/``PinRef``/``Net`` are thin
+index-backed views: reading or writing ``inst.x`` reads or writes
+``core.x[inst.index]``, so bulk operations (``positions``, ``set_positions``,
+``total_hpwl``, pin positions) are O(1) views or single vectorized kernels
+with no per-object Python loops.  Cell positions remain mutable after
 finalization (placement would be pointless otherwise) but the netlist
 topology does not.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.netlist.core import DesignCore, Row, build_rows
 from repro.netlist.library import CellType, Library, LibraryPin, PinDirection
 from repro.utils.geometry import Rect
+
+__all__ = [
+    "Design",
+    "DesignArrays",
+    "DesignCore",
+    "Instance",
+    "Net",
+    "PinRef",
+    "Row",
+]
 
 # Cell masters used to model top-level IO ports as zero-area fixed instances.
 _PORT_INPUT = CellType("__PORT_IN__", width=0.0, height=0.0)
@@ -32,11 +47,19 @@ _PORT_INPUT.add_pin(LibraryPin("o", PinDirection.OUTPUT, capacitance=0.0))
 _PORT_OUTPUT = CellType("__PORT_OUT__", width=0.0, height=0.0)
 _PORT_OUTPUT.add_pin(LibraryPin("i", PinDirection.INPUT, capacitance=0.01))
 
+PORT_INPUT_CELL_NAME = _PORT_INPUT.name
+PORT_OUTPUT_CELL_NAME = _PORT_OUTPUT.name
+
 
 class Instance:
-    """A placed occurrence of a library cell (or a top-level IO port)."""
+    """A placed occurrence of a library cell (or a top-level IO port).
 
-    __slots__ = ("name", "cell", "x", "y", "fixed", "orientation", "index", "is_port")
+    Before finalize, position and fixedness live on the instance; afterwards
+    they are views into the design core's arrays (``core.x[index]`` etc.), so
+    per-instance access and bulk array access always agree.
+    """
+
+    __slots__ = ("name", "cell", "orientation", "index", "is_port", "_x", "_y", "_fixed", "_core")
 
     def __init__(
         self,
@@ -51,12 +74,53 @@ class Instance:
     ) -> None:
         self.name = name
         self.cell = cell
-        self.x = float(x)
-        self.y = float(y)
-        self.fixed = bool(fixed)
+        self._x = float(x)
+        self._y = float(y)
+        self._fixed = bool(fixed)
         self.orientation = orientation
         self.index = -1
         self.is_port = is_port
+        self._core: Optional[DesignCore] = None
+
+    @property
+    def x(self) -> float:
+        core = self._core
+        return float(core.x[self.index]) if core is not None else self._x
+
+    @x.setter
+    def x(self, value: float) -> None:
+        core = self._core
+        if core is not None:
+            core.x[self.index] = value
+        else:
+            self._x = float(value)
+
+    @property
+    def y(self) -> float:
+        core = self._core
+        return float(core.y[self.index]) if core is not None else self._y
+
+    @y.setter
+    def y(self, value: float) -> None:
+        core = self._core
+        if core is not None:
+            core.y[self.index] = value
+        else:
+            self._y = float(value)
+
+    @property
+    def fixed(self) -> bool:
+        core = self._core
+        return bool(core.inst_fixed[self.index]) if core is not None else self._fixed
+
+    @fixed.setter
+    def fixed(self, value: bool) -> None:
+        if self._core is not None:
+            raise RuntimeError(
+                "Instance fixedness is frozen after finalize() (the movable "
+                "mask is part of the design core)"
+            )
+        self._fixed = bool(value)
 
     @property
     def width(self) -> float:
@@ -135,13 +199,27 @@ class PinRef:
 class Net:
     """A signal net connecting one driver pin to zero or more sink pins."""
 
-    __slots__ = ("name", "index", "pins", "weight")
+    __slots__ = ("name", "index", "pins", "_weight", "_core")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.index = -1
         self.pins: List[PinRef] = []
-        self.weight = 1.0
+        self._weight = 1.0
+        self._core: Optional[DesignCore] = None
+
+    @property
+    def weight(self) -> float:
+        core = self._core
+        return float(core.net_weight[self.index]) if core is not None else self._weight
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        core = self._core
+        if core is not None:
+            core.net_weight[self.index] = value
+        else:
+            self._weight = float(value)
 
     @property
     def driver(self) -> Optional[PinRef]:
@@ -169,81 +247,6 @@ class Net:
         return f"Net({self.name}, degree={self.degree})"
 
 
-@dataclass(frozen=True)
-class Row:
-    """A placement row (used by row-based legalization)."""
-
-    index: int
-    y: float
-    xl: float
-    xh: float
-    height: float
-    site_width: float
-
-    @property
-    def width(self) -> float:
-        return self.xh - self.xl
-
-    @property
-    def num_sites(self) -> int:
-        return int(self.width // self.site_width)
-
-
-class DesignArrays:
-    """Vectorized, index-based view of a finalized design.
-
-    All arrays are ordered consistently with ``Design.instances`` /
-    ``Design.pins`` / ``Design.nets``.  ``net_pin_offsets``/``net_pin_index``
-    form a CSR layout: the pins of net ``e`` are
-    ``net_pin_index[net_pin_offsets[e]:net_pin_offsets[e+1]]``.
-    """
-
-    def __init__(self, design: "Design") -> None:
-        insts = design.instances
-        pins = design.pins
-        nets = design.nets
-
-        self.num_instances = len(insts)
-        self.num_pins = len(pins)
-        self.num_nets = len(nets)
-
-        self.inst_width = np.array([i.width for i in insts], dtype=np.float64)
-        self.inst_height = np.array([i.height for i in insts], dtype=np.float64)
-        self.inst_fixed = np.array([i.fixed for i in insts], dtype=bool)
-        self.inst_area = self.inst_width * self.inst_height
-
-        self.pin_instance = np.array([p.instance.index for p in pins], dtype=np.int64)
-        self.pin_offset_x = np.array([p.lib_pin.offset_x for p in pins], dtype=np.float64)
-        self.pin_offset_y = np.array([p.lib_pin.offset_y for p in pins], dtype=np.float64)
-        self.pin_net = np.array(
-            [p.net.index if p.net is not None else -1 for p in pins], dtype=np.int64
-        )
-        self.pin_capacitance = np.array([p.capacitance for p in pins], dtype=np.float64)
-        self.pin_is_driver = np.array([p.is_driver for p in pins], dtype=bool)
-
-        offsets = np.zeros(self.num_nets + 1, dtype=np.int64)
-        for net in nets:
-            offsets[net.index + 1] = len(net.pins)
-        np.cumsum(offsets, out=offsets)
-        index = np.zeros(offsets[-1], dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        for net in nets:
-            for pin in net.pins:
-                index[cursor[net.index]] = pin.index
-                cursor[net.index] += 1
-        self.net_pin_offsets = offsets
-        self.net_pin_index = index
-        self.net_weight = np.array([n.weight for n in nets], dtype=np.float64)
-
-        self.movable_mask = ~self.inst_fixed
-        self.movable_index = np.nonzero(self.movable_mask)[0]
-
-    def net_pins(self, net_index: int) -> np.ndarray:
-        start = self.net_pin_offsets[net_index]
-        end = self.net_pin_offsets[net_index + 1]
-        return self.net_pin_index[start:end]
-
-
 class Design:
     """A gate-level design: floorplan, instances, nets, and connectivity."""
 
@@ -257,10 +260,10 @@ class Design:
         site_width: float = 1.0,
     ) -> None:
         self.name = name
-        self.die = die if isinstance(die, Rect) else Rect(*die)
+        self._die = die if isinstance(die, Rect) else Rect(*die)
         self.library = library
-        self.row_height = float(row_height)
-        self.site_width = float(site_width)
+        self._row_height = float(row_height)
+        self._site_width = float(site_width)
 
         self.instances: List[Instance] = []
         self.nets: List[Net] = []
@@ -270,7 +273,7 @@ class Design:
         self._net_by_name: Dict[str, Net] = {}
         self._pins_by_instance: Dict[str, Dict[str, PinRef]] = {}
         self._finalized = False
-        self._arrays: Optional[DesignArrays] = None
+        self._core: Optional[DesignCore] = None
 
         # Timing constraints are attached by the SDC parser / benchmark
         # generator; kept here so a design file is self-contained.
@@ -279,6 +282,40 @@ class Design:
         self.clock_port: Optional[str] = None
         self.input_delays: Dict[str, float] = {}
         self.output_delays: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Floorplan parameters (synced to the core so its rows cache can
+    # invalidate itself when the floorplan changes)
+    # ------------------------------------------------------------------
+    @property
+    def die(self) -> Rect:
+        return self._die
+
+    @die.setter
+    def die(self, value: Rect | Tuple[float, float, float, float]) -> None:
+        self._die = value if isinstance(value, Rect) else Rect(*value)
+        if self._core is not None:
+            self._core.set_floorplan(die=self._die)
+
+    @property
+    def row_height(self) -> float:
+        return self._row_height
+
+    @row_height.setter
+    def row_height(self, value: float) -> None:
+        self._row_height = float(value)
+        if self._core is not None:
+            self._core.set_floorplan(row_height=self._row_height)
+
+    @property
+    def site_width(self) -> float:
+        return self._site_width
+
+    @site_width.setter
+    def site_width(self, value: float) -> None:
+        self._site_width = float(value)
+        if self._core is not None:
+            self._core.set_floorplan(site_width=self._site_width)
 
     # ------------------------------------------------------------------
     # Construction
@@ -434,6 +471,8 @@ class Design:
 
     @property
     def num_movable(self) -> int:
+        if self._core is not None:
+            return int(self._core.movable_index.size)
         return sum(1 for i in self.instances if not i.fixed)
 
     @property
@@ -445,10 +484,15 @@ class Design:
         return len(self.pins)
 
     # ------------------------------------------------------------------
-    # Finalization and vectorized views
+    # Finalization and the array core
     # ------------------------------------------------------------------
     def finalize(self) -> "Design":
-        """Validate connectivity and freeze the netlist topology."""
+        """Validate connectivity, freeze the topology, and build the core.
+
+        After this call the NumPy arrays in :attr:`core` are the single
+        source of truth for positions and net weights; the Python objects
+        become index-backed views onto them.
+        """
         if self._finalized:
             return self
         for net in self.nets:
@@ -457,7 +501,13 @@ class Design:
                 names = ", ".join(p.full_name for p in drivers)
                 raise ValueError(f"Net {net.name} has multiple drivers: {names}")
         self._finalized = True
-        self._arrays = DesignArrays(self)
+        core = DesignCore.from_design(self)
+        self._core = core
+        # Flip the objects into view mode (one-time pass at finalize).
+        for inst in self.instances:
+            inst._core = core
+        for net in self.nets:
+            net._core = core
         return self
 
     @property
@@ -465,19 +515,32 @@ class Design:
         return self._finalized
 
     @property
-    def arrays(self) -> DesignArrays:
-        if not self._finalized or self._arrays is None:
-            raise RuntimeError("Design must be finalized before accessing arrays")
-        return self._arrays
+    def core(self) -> DesignCore:
+        """The array-first design core (requires ``finalize()``)."""
+        if not self._finalized or self._core is None:
+            raise RuntimeError("Design must be finalized before accessing the core")
+        return self._core
+
+    @property
+    def arrays(self) -> DesignCore:
+        """Alias of :attr:`core`, kept for the pre-core ``DesignArrays`` API."""
+        return self.core
 
     def positions(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return instance lower-left coordinates as two float arrays."""
+        if self._core is not None:
+            return self._core.positions()
         x = np.array([i.x for i in self.instances], dtype=np.float64)
         y = np.array([i.y for i in self.instances], dtype=np.float64)
         return x, y
 
     def set_positions(self, x: Sequence[float], y: Sequence[float]) -> None:
         """Write instance positions back from flat arrays (fixed cells kept)."""
+        if self._core is not None:
+            self._core.set_positions(
+                np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+            )
+            return
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if x.shape != (len(self.instances),) or y.shape != (len(self.instances),):
@@ -494,45 +557,34 @@ class Design:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Absolute pin coordinates for instance positions ``(x, y)``.
 
-        When ``x``/``y`` are omitted the instances' stored positions are used.
+        When ``x``/``y`` are omitted the core's stored positions are used.
         """
-        arrays = self.arrays
-        if x is None or y is None:
-            x, y = self.positions()
-        px = x[arrays.pin_instance] + arrays.pin_offset_x
-        py = y[arrays.pin_instance] + arrays.pin_offset_y
-        return px, py
+        return self.core.pin_positions(x, y)
 
     # ------------------------------------------------------------------
     # Floorplan helpers
     # ------------------------------------------------------------------
     def rows(self) -> List[Row]:
-        """Placement rows filling the die from bottom to top."""
-        rows: List[Row] = []
-        y = self.die.yl
-        index = 0
-        while y + self.row_height <= self.die.yh + 1e-9:
-            rows.append(
-                Row(
-                    index=index,
-                    y=y,
-                    xl=self.die.xl,
-                    xh=self.die.xh,
-                    height=self.row_height,
-                    site_width=self.site_width,
-                )
-            )
-            y += self.row_height
-            index += 1
-        return rows
+        """Placement rows filling the die from bottom to top.
+
+        Cached on the core after finalize; the cache invalidates itself when
+        the floorplan (die, row height, site width) changes.
+        """
+        if self._core is not None:
+            return self._core.rows()
+        return build_rows(self._die, self._row_height, self._site_width)
 
     def utilization(self) -> float:
         """Total movable + fixed cell area divided by die area."""
+        if self._core is not None:
+            return self._core.utilization()
         total_area = sum(i.area for i in self.instances if not i.is_port)
-        return total_area / self.die.area if self.die.area > 0 else 0.0
+        return total_area / self._die.area if self._die.area > 0 else 0.0
 
     def total_hpwl(self) -> float:
         """Half-perimeter wirelength summed over all nets at current positions."""
+        if self._core is not None:
+            return self._core.total_hpwl()
         return sum(net.hpwl() for net in self.nets)
 
     # ------------------------------------------------------------------
@@ -559,3 +611,15 @@ class Design:
             f"Design({self.name}, cells={len(self.cells)}, nets={self.num_nets}, "
             f"pins={self.num_pins})"
         )
+
+
+def DesignArrays(design: Design) -> DesignCore:
+    """Backwards-compatible constructor for the pre-core ``DesignArrays`` API.
+
+    The vectorized view used to be a separate class built from a design;
+    the :class:`DesignCore` *is* that view now (``design.arrays`` /
+    ``design.core`` after ``finalize()``).  This shim keeps the old
+    ``DesignArrays(design)`` call shape working by building a fresh core
+    from the design's current state.
+    """
+    return DesignCore.from_design(design)

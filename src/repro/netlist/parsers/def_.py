@@ -28,7 +28,7 @@ import re
 from typing import List, Optional, Tuple
 
 from repro.netlist.design import Design
-from repro.netlist.library import Library, PinDirection
+from repro.netlist.library import Library
 from repro.utils.geometry import Rect
 
 

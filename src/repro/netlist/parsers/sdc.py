@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.netlist.design import Design
-from repro.netlist.library import PinDirection
 
 
 @dataclass

@@ -7,10 +7,10 @@ disk.  The DEF writer mirrors the ".def Output" step in Fig. 1 of the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 from repro.netlist.design import Design, Instance
-from repro.netlist.library import Library, PinDirection
+from repro.netlist.library import Library
 
 
 def write_def(design: Design) -> str:

@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import fft as spfft
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 
 
 @dataclass
@@ -44,15 +44,15 @@ class ElectrostaticDensity:
 
     def __init__(
         self,
-        design: Design,
+        design,
         *,
         num_bins_x: Optional[int] = None,
         num_bins_y: Optional[int] = None,
         target_density: float = 1.0,
     ) -> None:
-        self.design = design
-        arrays = design.arrays
-        die = design.die
+        arrays = as_core(design)
+        self.core = arrays
+        die = arrays.die
         num_movable = int(arrays.movable_mask.sum())
         if num_bins_x is None or num_bins_y is None:
             # Roughly 4 movable cells per bin, power-of-two grid in [16, 256].
@@ -85,7 +85,7 @@ class ElectrostaticDensity:
     # ------------------------------------------------------------------
     def _splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Cloud-in-cell deposition of movable cell areas onto the bin grid."""
-        die = self.design.die
+        die = self.core.die
         cx = x[self._movable] + self._half_w
         cy = y[self._movable] + self._half_h
         # Continuous bin coordinates of the cell centers.
@@ -123,7 +123,7 @@ class ElectrostaticDensity:
         self, field: np.ndarray, x: np.ndarray, y: np.ndarray
     ) -> np.ndarray:
         """Bilinear interpolation of a bin-grid field at movable cell centers."""
-        die = self.design.die
+        die = self.core.die
         cx = x[self._movable] + self._half_w
         cy = y[self._movable] + self._half_h
         u = np.clip((cx - die.xl) / self.bin_w - 0.5, 0.0, self.num_bins_x - 1.0)
@@ -149,7 +149,7 @@ class ElectrostaticDensity:
 
         energy = 0.5 * float(np.sum(density / self.bin_area * psi))
 
-        num_instances = self.design.arrays.num_instances
+        num_instances = self.core.num_instances
         grad_x = np.zeros(num_instances, dtype=np.float64)
         grad_y = np.zeros(num_instances, dtype=np.float64)
         grad_x[self._movable] = -self._area * self._sample_field(ex, x, y)

@@ -15,15 +15,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 from repro.placement.wirelength import hpwl_per_net
 
 
 class DetailedPlacer:
     """Greedy adjacent-swap refinement on a legalized placement."""
 
-    def __init__(self, design: Design, *, max_passes: int = 2) -> None:
-        self.design = design
+    def __init__(self, design, *, max_passes: int = 2) -> None:
+        self.core = as_core(design)
         self.max_passes = max_passes
 
     def refine(
@@ -32,10 +32,9 @@ class DetailedPlacer:
         y: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
         """Return refined positions and the number of accepted swaps."""
-        design = self.design
-        arrays = design.arrays
+        arrays = self.core
         if x is None or y is None:
-            x, y = design.positions()
+            x, y = arrays.positions()
         x = np.asarray(x, dtype=np.float64).copy()
         y = np.asarray(y, dtype=np.float64).copy()
 
@@ -76,8 +75,8 @@ class DetailedPlacer:
         return x, y, accepted
 
     def _nets_hpwl(self, nets: List[int], x: np.ndarray, y: np.ndarray) -> float:
-        per_net = hpwl_per_net(self.design, x, y)
+        per_net = hpwl_per_net(self.core, x, y)
         return float(per_net[nets].sum())
 
     def apply(self, x: np.ndarray, y: np.ndarray) -> None:
-        self.design.set_positions(x, y)
+        self.core.set_positions(x, y)

@@ -8,16 +8,16 @@ here; fixed instances (IO ports, macros) keep their positions.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 from repro.utils.rng import SeedLike, make_rng
 
 
 def initial_placement(
-    design: Design,
+    design,
     *,
     spread: float = 0.12,
     seed: SeedLike = 0,
@@ -26,38 +26,37 @@ def initial_placement(
 
     Movable cells are placed around the die center with a Gaussian spread of
     ``spread`` times the die dimensions (clipped to the die); fixed instances
-    keep their stored positions.
+    keep their stored positions.  ``design`` may be a :class:`Design` or a
+    bare :class:`DesignCore`.
     """
     rng = make_rng(seed)
-    arrays = design.arrays
-    die = design.die
-    x, y = design.positions()
+    core = as_core(design)
+    die = core.die
+    x, y = core.positions()
 
-    movable = arrays.movable_index
+    movable = core.movable_index
     center_x = die.xl + 0.5 * die.width
     center_y = die.yl + 0.5 * die.height
-    x = x.copy()
-    y = y.copy()
     x[movable] = center_x + rng.normal(0.0, spread * die.width, size=movable.size)
     y[movable] = center_y + rng.normal(0.0, spread * die.height, size=movable.size)
 
     # Keep cells fully inside the die.
     x[movable] = np.clip(
-        x[movable], die.xl, die.xh - arrays.inst_width[movable]
+        x[movable], die.xl, die.xh - core.inst_width[movable]
     )
     y[movable] = np.clip(
-        y[movable], die.yl, die.yh - arrays.inst_height[movable]
+        y[movable], die.yl, die.yh - core.inst_height[movable]
     )
     return x, y
 
 
-def clamp_to_die(design: Design, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def clamp_to_die(design, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Clip movable instances so their footprint stays inside the die."""
-    arrays = design.arrays
-    die = design.die
-    movable = arrays.movable_index
+    core = as_core(design)
+    die = core.die
+    movable = core.movable_index
     x = x.copy()
     y = y.copy()
-    x[movable] = np.clip(x[movable], die.xl, die.xh - arrays.inst_width[movable])
-    y[movable] = np.clip(y[movable], die.yl, die.yh - arrays.inst_height[movable])
+    x[movable] = np.clip(x[movable], die.xl, die.xh - core.inst_width[movable])
+    y[movable] = np.clip(y[movable], die.yl, die.yh - core.inst_height[movable])
     return x, y

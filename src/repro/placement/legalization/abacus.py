@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.netlist.design import Design, Row
+from repro.netlist.core import Row, as_core
 
 
 @dataclass
@@ -65,15 +65,15 @@ class AbacusLegalizer:
 
     def __init__(
         self,
-        design: Design,
+        design,
         *,
         site_aligned: bool = True,
         max_candidate_rows: int = 24,
     ) -> None:
-        self.design = design
+        self.core = as_core(design)
         self.site_aligned = site_aligned
         self.max_candidate_rows = max_candidate_rows
-        self.rows = design.rows()
+        self.rows = self.core.rows()
         if not self.rows:
             raise ValueError("Design has no placement rows (die too short?)")
 
@@ -83,10 +83,9 @@ class AbacusLegalizer:
         y: Optional[np.ndarray] = None,
     ) -> LegalizationResult:
         """Legalize movable cells; returns legal positions for all instances."""
-        design = self.design
-        arrays = design.arrays
+        arrays = self.core
         if x is None or y is None:
-            x, y = design.positions()
+            x, y = arrays.positions()
         x = np.asarray(x, dtype=np.float64).copy()
         y = np.asarray(y, dtype=np.float64).copy()
 
@@ -172,5 +171,5 @@ class AbacusLegalizer:
             clusters.pop()
 
     def apply(self, result: LegalizationResult) -> None:
-        """Write legalized positions back onto the design."""
-        self.design.set_positions(result.x, result.y)
+        """Write legalized positions back onto the design core."""
+        self.core.set_positions(result.x, result.y)

@@ -8,20 +8,20 @@ so it is used by tests and as a safety net when Abacus reports failures.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 from repro.placement.legalization.abacus import LegalizationResult
 
 
 class GreedyLegalizer:
     """First-fit row packing ordered by global-placement x coordinate."""
 
-    def __init__(self, design: Design) -> None:
-        self.design = design
-        self.rows = design.rows()
+    def __init__(self, design) -> None:
+        self.core = as_core(design)
+        self.rows = self.core.rows()
         if not self.rows:
             raise ValueError("Design has no placement rows (die too short?)")
 
@@ -30,10 +30,9 @@ class GreedyLegalizer:
         x: Optional[np.ndarray] = None,
         y: Optional[np.ndarray] = None,
     ) -> LegalizationResult:
-        design = self.design
-        arrays = design.arrays
+        arrays = self.core
         if x is None or y is None:
-            x, y = design.positions()
+            x, y = arrays.positions()
         x = np.asarray(x, dtype=np.float64).copy()
         y = np.asarray(y, dtype=np.float64).copy()
 
@@ -45,7 +44,7 @@ class GreedyLegalizer:
         # Next free x position in each row.
         cursor = np.array([r.xl for r in self.rows], dtype=np.float64)
         row_end = np.array([r.xh for r in self.rows], dtype=np.float64)
-        site = self.design.site_width
+        site = self.core.site_width
 
         legal_x = x.copy()
         legal_y = y.copy()
@@ -84,4 +83,4 @@ class GreedyLegalizer:
         )
 
     def apply(self, result: LegalizationResult) -> None:
-        self.design.set_positions(result.x, result.y)
+        self.core.set_positions(result.x, result.y)

@@ -11,7 +11,7 @@ to the :class:`GlobalPlacer`'s objective.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Tuple
+from typing import List, Protocol, Tuple
 
 import numpy as np
 

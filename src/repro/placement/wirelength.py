@@ -4,8 +4,12 @@ The WA model (Hsu, Chang, Balabanov, DAC'11) approximates the max/min of the
 pin coordinates of a net with log-sum-exp-style weighted averages controlled
 by a smoothing parameter ``gamma``; it is the wirelength model used by
 DREAMPlace and therefore by every placer in this library.  Values and
-gradients are computed for all nets at once from the design's CSR
+gradients are computed for all nets at once from the design core's CSR
 net-to-pin arrays, then pin gradients are accumulated onto instances.
+
+Every entry point takes either a :class:`repro.netlist.Design` or a bare
+:class:`repro.netlist.core.DesignCore` — the smooth model never touches the
+object netlist.
 """
 
 from __future__ import annotations
@@ -15,61 +19,27 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.netlist.design import Design
+from repro.netlist.core import as_core
 
 
 def hpwl_per_net(
-    design: Design,
+    design,
     x: Optional[np.ndarray] = None,
     y: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Exact half-perimeter wirelength of every net (zeros for degenerate nets)."""
-    arrays = design.arrays
-    pin_x, pin_y = design.pin_positions(x, y)
-    num_nets = arrays.num_nets
-    result = np.zeros(num_nets, dtype=np.float64)
-    offsets = arrays.net_pin_offsets
-    csr = arrays.net_pin_index
-    counts = np.diff(offsets)
-    valid = counts >= 2
-    if not np.any(valid):
-        return result
-    # reduceat needs non-empty segments; operate on valid nets only.
-    valid_ids = np.nonzero(valid)[0]
-    starts = offsets[:-1][valid_ids]
-    # Build segment boundaries for reduceat over the concatenated valid pins.
-    xmax = np.maximum.reduceat(pin_x[csr], starts)
-    xmin = np.minimum.reduceat(pin_x[csr], starts)
-    ymax = np.maximum.reduceat(pin_y[csr], starts)
-    ymin = np.minimum.reduceat(pin_y[csr], starts)
-    # reduceat with ``starts`` reduces from each start to the next start (or
-    # the end), which may span nets when invalid nets sit between valid ones.
-    # That only happens for nets with <2 pins, which contribute their single
-    # pin; including it in the neighbouring segment would corrupt the result,
-    # so recompute those rare cases exactly.
-    spans = np.append(starts[1:], csr.size) - starts
-    clean = spans == counts[valid_ids]
-    result[valid_ids[clean]] = (xmax - xmin + ymax - ymin)[clean]
-    for net_id in valid_ids[~clean]:
-        pins = arrays.net_pins(net_id)
-        px = pin_x[pins]
-        py = pin_y[pins]
-        result[net_id] = (px.max() - px.min()) + (py.max() - py.min())
-    return result
+    return as_core(design).hpwl_per_net(x, y)
 
 
 def total_hpwl(
-    design: Design,
+    design,
     x: Optional[np.ndarray] = None,
     y: Optional[np.ndarray] = None,
     *,
     net_weights: Optional[np.ndarray] = None,
 ) -> float:
     """Total (optionally net-weighted) HPWL of the design."""
-    per_net = hpwl_per_net(design, x, y)
-    if net_weights is not None:
-        per_net = per_net * net_weights
-    return float(per_net.sum())
+    return as_core(design).total_hpwl(x, y, net_weights=net_weights)
 
 
 @dataclass
@@ -90,22 +60,20 @@ class WeightedAverageWirelength:
     :meth:`set_gamma`.
     """
 
-    def __init__(self, design: Design, *, gamma: float = 5.0) -> None:
-        self.design = design
-        arrays = design.arrays
+    def __init__(self, design, *, gamma: float = 5.0) -> None:
+        core = as_core(design)
+        self.core = core
         self.gamma = float(gamma)
-        counts = np.diff(arrays.net_pin_offsets)
+        counts = np.diff(core.net_pin_offsets)
         # Only nets with at least two pins contribute wirelength.
         self._valid_nets = np.nonzero(counts >= 2)[0]
-        valid_mask = np.isin(
-            np.repeat(np.arange(arrays.num_nets), counts), self._valid_nets
-        )
-        self._csr_pins = arrays.net_pin_index[valid_mask]
-        self._csr_net = np.repeat(np.arange(arrays.num_nets), counts)[valid_mask]
-        self._pin_instance = arrays.pin_instance
-        self._num_nets = arrays.num_nets
-        self._num_instances = arrays.num_instances
-        self._movable_mask = arrays.movable_mask
+        valid_mask = np.isin(core.csr_net, self._valid_nets)
+        self._csr_pins = core.net_pin_index[valid_mask]
+        self._csr_net = core.csr_net[valid_mask]
+        self._pin_instance = core.pin_instance
+        self._num_nets = core.num_nets
+        self._num_instances = core.num_instances
+        self._movable_mask = core.movable_mask
 
     def set_gamma(self, gamma: float) -> None:
         if gamma <= 0:
@@ -120,8 +88,7 @@ class WeightedAverageWirelength:
         net_weights: Optional[np.ndarray] = None,
     ) -> WirelengthResult:
         """Smoothed wirelength and its gradient w.r.t. instance positions."""
-        design = self.design
-        pin_x, pin_y = design.pin_positions(x, y)
+        pin_x, pin_y = self.core.pin_positions(x, y)
         weights = (
             np.ones(self._num_nets, dtype=np.float64)
             if net_weights is None

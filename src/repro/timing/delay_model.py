@@ -13,19 +13,22 @@ Two cooperating models:
   paper's quadratic distance loss is designed to track.
 
 * :class:`CellDelayModel` evaluates every cell arc's delay from the library
-  characterization (``intrinsic + load_slope * C_load`` or a load lookup
-  table) given the per-net loads computed by the wire model.
+  characterization (``intrinsic + slope * load`` or a load lookup table)
+  given the per-net loads computed by the wire model.
+
+Both models are array-first: they read the design core's CSR connectivity
+and the timing graph's flat arc characterization — no object traversal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.netlist.design import Design
-from repro.timing.graph import ArcKind, TimingGraph
+from repro.netlist.core import DesignCore, as_core
+from repro.timing.graph import TimingGraph
 
 
 @dataclass
@@ -42,34 +45,28 @@ class WireRCModel:
 
     def __init__(
         self,
-        design: Design,
+        design,
         *,
         resistance_per_unit: Optional[float] = None,
         capacitance_per_unit: Optional[float] = None,
     ) -> None:
-        self.design = design
-        lib = design.library
+        core: DesignCore = as_core(design)
+        self.core = core
         self.resistance_per_unit = (
-            lib.wire_resistance_per_unit if resistance_per_unit is None else resistance_per_unit
+            core.wire_resistance_per_unit if resistance_per_unit is None else resistance_per_unit
         )
         self.capacitance_per_unit = (
-            lib.wire_capacitance_per_unit if capacitance_per_unit is None else capacitance_per_unit
+            core.wire_capacitance_per_unit if capacitance_per_unit is None else capacitance_per_unit
         )
-        arrays = design.arrays
-        self._num_nets = arrays.num_nets
-        self._num_pins = arrays.num_pins
-        # CSR pin ordering grouped by net.
-        self._csr_pins = arrays.net_pin_index
-        self._csr_net = np.repeat(
-            np.arange(self._num_nets, dtype=np.int64),
-            np.diff(arrays.net_pin_offsets),
-        )
-        self._pin_cap = arrays.pin_capacitance
-        self._pin_is_driver = arrays.pin_is_driver
+        self._num_nets = core.num_nets
+        self._num_pins = core.num_pins
+        # CSR pin ordering grouped by net (shared, cached on the core).
+        self._csr_pins = core.net_pin_index
+        self._csr_net = core.csr_net
+        self._pin_cap = core.pin_capacitance
+        self._pin_is_driver = core.pin_is_driver
         # Driver pin per net (-1 when the net is undriven).
-        self._driver_pin = np.full(self._num_nets, -1, dtype=np.int64)
-        driver_mask = self._pin_is_driver[self._csr_pins]
-        self._driver_pin[self._csr_net[driver_mask]] = self._csr_pins[driver_mask]
+        self._driver_pin = core.net_driver_pin
         self._pin_count = np.bincount(self._csr_net, minlength=self._num_nets)
 
     @property
@@ -158,31 +155,26 @@ class WireRCModel:
 
 
 class CellDelayModel:
-    """Vectorized evaluation of cell-arc delays for a timing graph."""
+    """Vectorized evaluation of cell-arc delays for a timing graph.
+
+    Consumes the graph's precomputed flat characterization
+    (``cell_arc_index`` / ``cell_intrinsic`` / ``cell_slope`` /
+    ``cell_table_specs``) — no per-arc object iteration.
+    """
 
     def __init__(self, graph: TimingGraph) -> None:
         self.graph = graph
-        design = graph.design
-        arrays = design.arrays
-        cell_arc_indices: List[int] = []
-        intrinsic: List[float] = []
-        slope: List[float] = []
-        table_arcs: List[Tuple[int, object]] = []
-        for arc in graph.arcs:
-            if arc.kind is not ArcKind.CELL or arc.spec is None:
-                continue
-            cell_arc_indices.append(arc.index)
-            intrinsic.append(arc.spec.intrinsic)
-            slope.append(arc.spec.load_slope)
-            if arc.spec.load_table:
-                table_arcs.append((len(cell_arc_indices) - 1, arc.spec))
-        self._cell_arc_indices = np.array(cell_arc_indices, dtype=np.int64)
-        self._intrinsic = np.array(intrinsic, dtype=np.float64)
-        self._slope = np.array(slope, dtype=np.float64)
-        self._table_arcs = table_arcs
+        core = graph.design.core
+        self._cell_arc_indices = graph.cell_arc_index
+        self._intrinsic = graph.cell_intrinsic
+        self._slope = graph.cell_slope
+        self._table_arcs = graph.cell_table_specs
         # The net driven by each cell arc's output pin determines its load.
-        to_pins = graph.arc_to[self._cell_arc_indices] if len(cell_arc_indices) else np.zeros(0, dtype=np.int64)
-        self._driven_net = arrays.pin_net[to_pins] if len(cell_arc_indices) else np.zeros(0, dtype=np.int64)
+        if self._cell_arc_indices.size:
+            to_pins = graph.arc_to[self._cell_arc_indices]
+            self._driven_net = core.pin_net[to_pins]
+        else:
+            self._driven_net = np.zeros(0, dtype=np.int64)
 
     def evaluate(self, net_load: np.ndarray) -> np.ndarray:
         """Return a delay for every arc of the graph (net arcs left at 0)."""

@@ -9,24 +9,20 @@ edge ``e`` (wire capacitance plus pin loads).  This is the delay model the
 paper's quadratic distance loss is derived from (Sec. III-C, Eq. 7): with
 wire resistance and capacitance both linear in length, the driver-to-sink
 delay grows quadratically with the pin-to-pin distance.
+
+The tree is evaluated from the topology's flat edge arrays: downstream
+capacitance is accumulated level-by-level bottom-up and root-to-node delays
+propagated level-by-level top-down, one vectorized pass per tree depth —
+no per-edge Python objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.timing.steiner import NetTopology
-
-
-@dataclass
-class _Edge:
-    parent: int
-    child: int
-    resistance: float
-    capacitance: float
 
 
 class RCTree:
@@ -55,20 +51,36 @@ class RCTree:
                 raise ValueError("pin_caps must have one entry per pin")
             self.node_cap[: topology.num_pins] += caps
 
-        self._edges: List[_Edge] = []
-        self._children: Dict[int, List[int]] = {}
-        for parent, child, length in topology.edges:
-            resistance = resistance_per_unit * length
-            capacitance = capacitance_per_unit * length
-            self._edges.append(_Edge(parent, child, resistance, capacitance))
-            self.node_cap[parent] += 0.5 * capacitance
-            self.node_cap[child] += 0.5 * capacitance
-            self._children.setdefault(parent, []).append(len(self._edges) - 1)
+        parent = topology.edge_parent
+        child = topology.edge_child
+        self._edge_resistance = resistance_per_unit * topology.edge_length
+        edge_capacitance = capacitance_per_unit * topology.edge_length
+        np.add.at(self.node_cap, parent, 0.5 * edge_capacitance)
+        np.add.at(self.node_cap, child, 0.5 * edge_capacitance)
 
         self.root = topology.root
+        self._node_depth = self._compute_depths(parent, child, num_nodes)
         self._downstream_cap: Optional[np.ndarray] = None
         self._node_delay: Optional[np.ndarray] = None
-        self._edge_topo: List[int] = []
+
+    def _compute_depths(
+        self, parent: np.ndarray, child: np.ndarray, num_nodes: int
+    ) -> np.ndarray:
+        """Depth of each node below the root (-1 for unreachable nodes)."""
+        depth = np.full(num_nodes, -1, dtype=np.int64)
+        depth[self.root] = 0
+        if parent.size == 0:
+            return depth
+        # Relax every edge whose parent depth is known until no edge fires;
+        # a tree of depth d needs d passes, each a vectorized scan.
+        pending = np.ones(parent.size, dtype=bool)
+        while True:
+            ready = pending & (depth[parent] >= 0)
+            if not np.any(ready):
+                break
+            depth[child[ready]] = depth[parent[ready]] + 1
+            pending &= ~ready
+        return depth
 
     @property
     def total_capacitance(self) -> float:
@@ -80,52 +92,49 @@ class RCTree:
         return self.topology.total_length
 
     def _compute_downstream(self) -> np.ndarray:
-        """Capacitance of the subtree rooted at each node (including itself)."""
+        """Capacitance of the subtree rooted at each node (including itself).
+
+        Accumulated bottom-up: edges are processed one tree depth at a time
+        (deepest children first), each level a single ``np.add.at`` over the
+        level's edges.
+        """
         if self._downstream_cap is not None:
             return self._downstream_cap
-        num_nodes = self.node_cap.size
         downstream = self.node_cap.copy()
-        # Process nodes bottom-up: children before parents. Obtain an order by
-        # DFS from the root and reverse it.  The edge visit order (parent
-        # always before child) is recorded for the root-to-node delay pass.
-        order: List[int] = []
-        edge_order: List[int] = []
-        stack = [self.root]
-        visited = set()
-        while stack:
-            node = stack.pop()
-            if node in visited:
-                continue
-            visited.add(node)
-            order.append(node)
-            for edge_idx in self._children.get(node, []):
-                edge_order.append(edge_idx)
-                stack.append(self._edges[edge_idx].child)
-        self._edge_topo = edge_order
-        for node in reversed(order):
-            for edge_idx in self._children.get(node, []):
-                downstream[node] += downstream[self._edges[edge_idx].child]
+        parent = self.topology.edge_parent
+        child = self.topology.edge_child
+        if parent.size:
+            child_depth = self._node_depth[child]
+            for depth in range(int(child_depth.max()), 0, -1):
+                level = child_depth == depth
+                np.add.at(downstream, parent[level], downstream[child[level]])
         self._downstream_cap = downstream
         return downstream
 
     def _compute_node_delays(self) -> np.ndarray:
-        """Elmore delay from the root to every node, one vectorized pass.
+        """Elmore delay from the root to every node, one pass per tree depth.
 
         ``delay(child) = delay(parent) + R_edge * C_down(child)``, evaluated
-        breadth-first so each tree depth is a single array operation instead
-        of one root-walk per node.
+        top-down so each depth is a single array operation.  Unreachable
+        nodes keep NaN.
         """
         if self._node_delay is not None:
             return self._node_delay
-        downstream = self._compute_downstream().tolist()
-        delay: List[float] = [float("nan")] * self.node_cap.size
+        downstream = self._compute_downstream()
+        delay = np.full(self.node_cap.size, np.nan, dtype=np.float64)
         delay[self.root] = 0.0
-        edges = self._edges
-        for edge_idx in self._edge_topo:
-            edge = edges[edge_idx]
-            delay[edge.child] = delay[edge.parent] + edge.resistance * downstream[edge.child]
-        self._node_delay = np.asarray(delay, dtype=np.float64)
-        return self._node_delay
+        parent = self.topology.edge_parent
+        child = self.topology.edge_child
+        if parent.size:
+            child_depth = self._node_depth[child]
+            for depth in range(1, int(child_depth.max()) + 1):
+                level = child_depth == depth
+                delay[child[level]] = (
+                    delay[parent[level]]
+                    + self._edge_resistance[level] * downstream[child[level]]
+                )
+        self._node_delay = delay
+        return delay
 
     def elmore_delay(self, node: int) -> float:
         """Elmore delay from the root (driver) to ``node``."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -60,9 +60,8 @@ class TimingPath:
         """
         pairs: List[Tuple[int, int]] = []
         for arc_index in self.arcs:
-            arc = graph.arcs[arc_index]
-            if arc.kind is ArcKind.NET:
-                pairs.append((arc.from_pin, arc.to_pin))
+            if graph.arc_kind[arc_index] == int(ArcKind.NET):
+                pairs.append((int(graph.arc_from[arc_index]), int(graph.arc_to[arc_index])))
         return pairs
 
     def describe(self, graph: TimingGraph) -> str:
@@ -151,7 +150,7 @@ def _worst_paths_to_endpoint(
             arc_list = list(reversed(arcs_rev))
             pin_list = [pin]
             for arc_index in arc_list:
-                pin_list.append(graph.arcs[arc_index].to_pin)
+                pin_list.append(int(graph.arc_to[arc_index]))
             paths.append(
                 TimingPath(
                     pins=pin_list,
@@ -165,7 +164,7 @@ def _worst_paths_to_endpoint(
             continue
         for arc_index in fanin:
             arc_index = int(arc_index)
-            source = graph.arcs[arc_index].from_pin
+            source = int(graph.arc_from[arc_index])
             if arrival[source] <= _NEG_INF / 2:
                 continue
             new_suffix = suffix + float(arc_delay[arc_index])

@@ -37,7 +37,7 @@ move every cell every iteration should keep the default full mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

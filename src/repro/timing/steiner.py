@@ -12,39 +12,76 @@ placers estimate it.  Two estimators are provided:
 
 Both return a :class:`NetTopology`: a tree of nodes (pins plus optional
 virtual nodes) with per-edge lengths, which :class:`repro.timing.rc_tree.RCTree`
-converts into resistors and capacitors.
+converts into resistors and capacitors.  Edges are stored as flat parent /
+child / length arrays (the form the RC evaluation consumes); the tuple-list
+``edges`` view is materialized on demand for tests and debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 
-@dataclass
 class NetTopology:
     """Tree topology of one net.
 
     ``node_xy`` holds coordinates for every node; nodes ``0..num_pins-1``
     correspond to the net's pins in their original order (driver first when
     the caller puts it first), higher indices are virtual (Steiner/star)
-    nodes.  ``edges`` are ``(parent, child, length)`` triples forming a tree
-    rooted at ``root`` (the driver's node).
+    nodes.  ``edge_parent`` / ``edge_child`` / ``edge_length`` describe a
+    tree rooted at ``root`` (the driver's node), parent-before-child.
     """
 
-    node_xy: np.ndarray
-    edges: List[Tuple[int, int, float]]
-    root: int
-    num_pins: int
+    __slots__ = ("node_xy", "edge_parent", "edge_child", "edge_length", "root", "num_pins")
+
+    def __init__(
+        self,
+        node_xy: np.ndarray,
+        edges,
+        root: int,
+        num_pins: int,
+    ) -> None:
+        self.node_xy = node_xy
+        if isinstance(edges, tuple) and len(edges) == 3 and isinstance(edges[0], np.ndarray):
+            parent, child, length = edges
+        elif len(edges) == 0:
+            parent = np.zeros(0, dtype=np.int64)
+            child = np.zeros(0, dtype=np.int64)
+            length = np.zeros(0, dtype=np.float64)
+        else:
+            parent = np.array([e[0] for e in edges], dtype=np.int64)
+            child = np.array([e[1] for e in edges], dtype=np.int64)
+            length = np.array([e[2] for e in edges], dtype=np.float64)
+        self.edge_parent = parent
+        self.edge_child = child
+        self.edge_length = length
+        self.root = root
+        self.num_pins = num_pins
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_parent.size)
+
+    @property
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """Tuple-list view of the edge arrays (compat/debug convenience)."""
+        return [
+            (int(p), int(c), float(length))
+            for p, c, length in zip(self.edge_parent, self.edge_child, self.edge_length)
+        ]
 
     @property
     def total_length(self) -> float:
-        return float(sum(length for _, _, length in self.edges))
+        return float(self.edge_length.sum())
 
     def children(self, node: int) -> List[Tuple[int, float]]:
-        return [(child, length) for parent, child, length in self.edges if parent == node]
+        mask = self.edge_parent == node
+        return [
+            (int(c), float(length))
+            for c, length in zip(self.edge_child[mask], self.edge_length[mask])
+        ]
 
 
 def star_topology(
@@ -73,15 +110,14 @@ def star_topology(
     center_y = float(ys.mean())
     node_xy = np.vstack([np.stack([xs, ys], axis=1), [[center_x, center_y]]])
     center = num_pins
-    edges: List[Tuple[int, int, float]] = []
-    driver_len = float(abs(xs[driver_index] - center_x) + abs(ys[driver_index] - center_y))
-    edges.append((driver_index, center, driver_len))
-    for i in range(num_pins):
-        if i == driver_index:
-            continue
-        length = float(abs(xs[i] - center_x) + abs(ys[i] - center_y))
-        edges.append((center, i, length))
-    return NetTopology(node_xy, edges, driver_index, num_pins)
+    # Edge order matches the historical per-pin loop: the driver->center edge
+    # first, then center->sink edges in pin order.
+    sinks = np.delete(np.arange(num_pins, dtype=np.int64), driver_index)
+    lengths = np.abs(xs - center_x) + np.abs(ys - center_y)
+    parent = np.concatenate([[driver_index], np.full(sinks.size, center, dtype=np.int64)])
+    child = np.concatenate([[center], sinks])
+    length = np.concatenate([[lengths[driver_index]], lengths[sinks]])
+    return NetTopology(node_xy, (parent, child, length), driver_index, num_pins)
 
 
 def mst_topology(
@@ -111,11 +147,15 @@ def mst_topology(
     # best_dist[i]: cheapest Manhattan distance from i to the current tree.
     best_dist = np.abs(xs - xs[driver_index]) + np.abs(ys - ys[driver_index])
     best_parent = np.full(num_pins, driver_index, dtype=np.int64)
-    edges: List[Tuple[int, int, float]] = []
-    for _ in range(num_pins - 1):
+    edge_parent = np.zeros(num_pins - 1, dtype=np.int64)
+    edge_child = np.zeros(num_pins - 1, dtype=np.int64)
+    edge_length = np.zeros(num_pins - 1, dtype=np.float64)
+    for e in range(num_pins - 1):
         candidates = np.where(~in_tree, best_dist, np.inf)
         nxt = int(np.argmin(candidates))
-        edges.append((int(best_parent[nxt]), nxt, float(best_dist[nxt])))
+        edge_parent[e] = best_parent[nxt]
+        edge_child[e] = nxt
+        edge_length[e] = best_dist[nxt]
         in_tree[nxt] = True
         dist_to_new = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
         improved = (~in_tree) & (dist_to_new < best_dist)
@@ -123,7 +163,9 @@ def mst_topology(
         best_parent = np.where(improved, nxt, best_parent)
 
     node_xy = np.stack([xs, ys], axis=1)
-    return NetTopology(node_xy, edges, driver_index, num_pins)
+    return NetTopology(
+        node_xy, (edge_parent, edge_child, edge_length), driver_index, num_pins
+    )
 
 
 def half_perimeter(pin_x: Sequence[float], pin_y: Sequence[float]) -> float:

@@ -9,7 +9,7 @@ same placement trajectory.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ DREAMPlace 4.0 baseline and by the paper's "w/o Path Extraction" ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

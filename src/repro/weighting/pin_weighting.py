@@ -10,7 +10,7 @@ explicit critical paths (the accuracy trade-off the paper discusses).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -46,12 +46,11 @@ def smooth_pin_pair_weights(
     path-free counterpart of the paper's extracted-path pin pairs.
     """
     criticality = pin_criticality(result, temperature=temperature)
-    weights: Dict[Tuple[int, int], float] = {}
     net_arc_mask = graph.arc_kind == int(ArcKind.NET)
-    for arc_index in np.nonzero(net_arc_mask)[0]:
-        arc = graph.arcs[int(arc_index)]
-        crit = float(criticality[arc.to_pin])
-        if crit <= threshold:
-            continue
-        weights[(arc.from_pin, arc.to_pin)] = crit
+    crit = criticality[graph.arc_to]
+    selected = np.nonzero(net_arc_mask & (crit > threshold))[0]
+    weights: Dict[Tuple[int, int], float] = {
+        (int(graph.arc_from[a]), int(graph.arc_to[a])): float(crit[a])
+        for a in selected
+    }
     return weights

@@ -1,6 +1,5 @@
 """Tests for benchmark generation, the evaluation kit, and metric helpers."""
 
-import numpy as np
 import pytest
 
 from repro.benchgen import CircuitSpec, SB_MINI_SUITE, benchmark_names, generate_circuit, load_benchmark

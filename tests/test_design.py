@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.netlist import Design, make_generic_library
-from repro.utils.geometry import Rect
-from tests.conftest import build_tiny_design
+from repro.netlist import Design
 
 
 class TestConstruction:

@@ -23,7 +23,6 @@ from repro.flow.stages import (
     TimingWeightStage,
 )
 from repro.netlist import Design, make_generic_library
-from repro.placement import PlacementConfig
 
 FAST = dict(
     max_iterations=120,

@@ -8,7 +8,6 @@ from repro.netlist.library import (
     LibraryPin,
     PinDirection,
     TimingArcSpec,
-    make_generic_library,
 )
 
 

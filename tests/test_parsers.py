@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.netlist import Design, make_generic_library
 from repro.netlist.parsers import (
     apply_sdc,
     parse_def,

@@ -1,9 +1,8 @@
 """Tests for critical path reporting (report_timing / report_timing_endpoint)."""
 
-import numpy as np
 import pytest
 
-from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
+from repro.timing import STAEngine, report_timing, report_timing_endpoint
 from repro.timing.graph import ArcKind
 
 

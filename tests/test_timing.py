@@ -13,7 +13,6 @@ from repro.timing import (
     star_topology,
 )
 from repro.timing.delay_model import WireRCModel
-from repro.timing.graph import ArcKind
 from repro.timing.steiner import half_perimeter
 
 coords = st.floats(0, 1000, allow_nan=False)
