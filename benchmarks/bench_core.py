@@ -6,14 +6,24 @@ Measures, for a few sb_mini designs:
 * ``CompiledDesign`` snapshot: compile time, pickle size/time versus pickling
   the full object graph, and worker-side rebuild (``to_design``) time;
 * STA update cost: full pass versus incremental pass after a small
-  perturbation (1% of movable cells moved).
+  perturbation (1% of movable cells moved);
+* multi-corner (MCMM) STA wall time for 1/2/4 corners — engine construction
+  plus the first full update, i.e. what a flow pays to stand the analysis
+  up — and the resulting 4-corner/single-corner ratio (the graph build and
+  wire geometry are shared across corners, so the target is < 2.5x).
 
 Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
 successive PRs can track the numbers.
 
+``--check`` additionally compares the freshly measured numbers against the
+recorded baseline JSON and exits non-zero when single-corner STA regresses
+more than ``--check-tolerance`` (default 10%) or the 4-corner ratio exceeds
+``--max-mcmm-ratio`` (default 2.5) — the CI perf gate.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core.py [--designs sb_mini_18,...]
+    PYTHONPATH=src python benchmarks/bench_core.py --check
 """
 
 from __future__ import annotations
@@ -29,9 +39,12 @@ import numpy as np
 
 from repro.benchgen.suite import load_benchmark
 from repro.netlist.compiled import compile_design
+from repro.timing.mcmm import MultiCornerSTA
+from repro.timing.constraints import Corner
 from repro.timing.sta import STAEngine
 
 DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10"]
+MCMM_CORNER_COUNTS = (1, 2, 4)
 
 
 def _time(fn, repeat: int = 3):
@@ -54,7 +67,9 @@ def bench_design(name: str) -> dict:
     rebuild_seconds, _ = _time(lambda: pickle.loads(snapshot_blob).to_design())
 
     engine = STAEngine(design, incremental=True)
-    full_seconds, _ = _time(lambda: engine.update_timing(incremental=False))
+    # Sub-millisecond timings gate CI, so take the best of many repetitions
+    # to keep scheduler noise out of the recorded numbers.
+    full_seconds, _ = _time(lambda: engine.update_timing(incremental=False), repeat=25)
 
     # Perturb 1% of movable cells and measure the incremental re-propagation.
     core = design.core
@@ -71,6 +86,26 @@ def bench_design(name: str) -> dict:
 
     incremental_seconds, _ = _time(incremental_pass)
 
+    # Multi-corner STA: construction + first full update, sharing one graph
+    # across corners.  Single-corner wall time uses the same measurement on
+    # the plain engine so the ratio isolates the corner axis.
+    def single_corner_wall():
+        return STAEngine(design).update_timing()
+
+    single_wall_seconds, _ = _time(single_corner_wall, repeat=7)
+    mcmm_ms = {}
+    for count in MCMM_CORNER_COUNTS:
+        corners = tuple(
+            Corner(f"c{i}", wire_rc_scale=1.0 + 0.05 * i, cell_derate=1.0 + 0.02 * i)
+            for i in range(count)
+        )
+
+        def mcmm_wall():
+            return MultiCornerSTA(design, corners).update_timing()
+
+        seconds, _ = _time(mcmm_wall, repeat=7)
+        mcmm_ms[count] = round(seconds * 1e3, 3)
+
     return {
         "design": name,
         "num_instances": design.num_instances,
@@ -86,7 +121,72 @@ def bench_design(name: str) -> dict:
         "snapshot_rebuild_ms": round(rebuild_seconds * 1e3, 3),
         "sta_full_ms": round(full_seconds * 1e3, 3),
         "sta_incremental_1pct_ms": round(incremental_seconds * 1e3, 3),
+        "sta_single_wall_ms": round(single_wall_seconds * 1e3, 3),
+        "mcmm_wall_ms": {str(count): value for count, value in mcmm_ms.items()},
+        "mcmm_4c_over_1c": round(
+            mcmm_ms[4] / max(single_wall_seconds * 1e3, 1e-9), 3
+        ),
     }
+
+
+def check_against_baseline(
+    rows, baseline_path: Path, *, tolerance: float, max_mcmm_ratio: float
+) -> int:
+    """Perf gate: compare fresh numbers against the recorded baseline.
+
+    Fails (returns 1) when single-corner full STA is more than ``tolerance``
+    slower than the recorded ``sta_full_ms`` for the same design, or when
+    the (hardware-independent) 4-corner/1-corner wall ratio exceeds
+    ``max_mcmm_ratio``.
+    """
+    baseline_rows = {}
+    if not baseline_path.exists():
+        print(f"check: no recorded baseline at {baseline_path}; skipping comparison")
+    else:
+        recorded = json.loads(baseline_path.read_text(encoding="utf-8"))
+        recorded_host = (recorded.get("machine"), recorded.get("python"))
+        current_host = (platform.machine(), platform.python_version())
+        if recorded_host != current_host:
+            # Absolute wall-clock numbers do not transfer across hosts; on a
+            # different machine/interpreter only the hardware-independent
+            # 4-corner ratio is gated.
+            print(
+                f"check: baseline recorded on {recorded_host}, running on "
+                f"{current_host}; skipping absolute-time comparison"
+            )
+        else:
+            baseline_rows = {row["design"]: row for row in recorded.get("designs", [])}
+
+    failures = []
+    for row in rows:
+        name = row["design"]
+        ratio = row["mcmm_4c_over_1c"]
+        if ratio > max_mcmm_ratio:
+            failures.append(
+                f"{name}: 4-corner MCMM wall is {ratio:.2f}x single-corner "
+                f"(limit {max_mcmm_ratio:.2f}x)"
+            )
+        baseline = baseline_rows.get(name)
+        if baseline is None or "sta_full_ms" not in baseline:
+            continue
+        recorded_ms = float(baseline["sta_full_ms"])
+        measured_ms = float(row["sta_full_ms"])
+        # 0.5ms absolute floor: below that, scheduler jitter dominates even
+        # best-of-N timings and a purely relative gate would flake.
+        if measured_ms > recorded_ms * (1.0 + tolerance) + 0.5:
+            failures.append(
+                f"{name}: single-corner STA {measured_ms:.3f}ms vs recorded "
+                f"{recorded_ms:.3f}ms (> {tolerance:.0%} regression)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        return 1
+    print(
+        f"check OK: single-corner STA within {tolerance:.0%} of baseline, "
+        f"4-corner MCMM under {max_mcmm_ratio:.2f}x"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -101,30 +201,65 @@ def main(argv=None) -> int:
         default=str(Path(__file__).parent / "results" / "BENCH_core.json"),
         help="output JSON path",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the recorded baseline instead of overwriting "
+        "it; non-zero exit on regression (CI gate)",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed single-corner STA slowdown vs the recorded baseline "
+        "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--max-mcmm-ratio",
+        type=float,
+        default=2.5,
+        help="maximum allowed 4-corner/1-corner wall-time ratio (default 2.5)",
+    )
     args = parser.parse_args(argv)
 
     rows = [bench_design(name) for name in args.designs.split(",") if name]
-    payload = {
-        "benchmark": "design core / CompiledDesign / STA micro-benchmark",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "designs": rows,
-    }
     out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    if args.check:
+        status = check_against_baseline(
+            rows,
+            out,
+            tolerance=args.check_tolerance,
+            max_mcmm_ratio=args.max_mcmm_ratio,
+        )
+    else:
+        status = 0
+        payload = {
+            "benchmark": "design core / CompiledDesign / STA micro-benchmark",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "designs": rows,
+        }
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
-    header = f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} {'ratio':>6} {'sta full':>9} {'sta incr':>9}"
+    header = (
+        f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "
+        f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6}"
+    )
     print(header)
     for row in rows:
+        mcmm = row["mcmm_wall_ms"]
+        mcmm_text = "/".join(f"{mcmm[str(count)]:.1f}" for count in MCMM_CORNER_COUNTS)
         print(
             f"{row['design']:<12} {row['build_ms']:>7.1f}m {row['compile_ms']:>7.2f}m "
             f"{row['snapshot_pickle_ms']:>7.2f}m {row['snapshot_rebuild_ms']:>7.1f}m "
             f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
-            f"{row['sta_incremental_1pct_ms']:>8.2f}m"
+            f"{row['sta_incremental_1pct_ms']:>8.2f}m {mcmm_text:>19}m "
+            f"{row['mcmm_4c_over_1c']:>5.2f}x"
         )
-    print(f"wrote {out}")
-    return 0
+    if not args.check:
+        print(f"wrote {out}")
+    return status
 
 
 if __name__ == "__main__":

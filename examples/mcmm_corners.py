@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Multi-corner/multi-mode (MCMM) timing-driven placement in ~40 lines.
+
+Runs the paper's Efficient-TDP flow on one sb_mini design three ways —
+single-corner, and 3-corner MCMM ("fast,typ,slow") with timing feedback
+optimizing the merged worst-over-corner slack — then prints the per-corner
+WNS/TNS breakdown of each result, evaluated against the full 3-corner set.
+
+The comparison shows the point of MCMM-aware placement: the single-corner
+flow only sees the typical corner, so the slow corner it never analyzed is
+usually worse than what the merged-slack flow achieves.
+
+Run:  python examples/mcmm_corners.py
+      (or, with the package installed:
+       repro run sb_mini_18 --corners fast,typ,slow)
+"""
+
+from repro import build_flow, load_benchmark
+from repro.evaluation.evaluator import evaluate_placement
+from repro.timing import MultiCornerSTA, resolve_corners
+
+DESIGN = "sb_mini_18"
+CORNERS = "fast,typ,slow"
+
+
+def main() -> None:
+    corners = resolve_corners(CORNERS)
+
+    # Single-corner flow: timing feedback sees only the typical corner.
+    single = build_flow("efficient_tdp", seed=1).run(load_benchmark(DESIGN))
+
+    # MCMM flow: one stacked STA per timing iteration, merged-slack feedback.
+    design = load_benchmark(DESIGN)
+    mcmm = build_flow("efficient_tdp", corners=CORNERS, seed=1).run(design)
+
+    # Score both placements against the same 3-corner analysis.
+    print(f"design: {DESIGN}  corners: {', '.join(c.name for c in corners)}")
+    print(f"{'flow':<16}{'corner':<8}{'wns':>10}{'tns':>12}")
+    for label, result in (("single-corner", single), ("mcmm", mcmm)):
+        report = evaluate_placement(
+            result.context.design, result.x, result.y, corners=corners
+        )
+        for corner_name, row in report.per_corner.items():
+            print(
+                f"{label:<16}{corner_name:<8}{row['wns']:>10.1f}{row['tns']:>12.1f}"
+            )
+        print(f"{label:<16}{'merged':<8}{report.wns:>10.1f}{report.tns:>12.1f}")
+
+    # The stacked engine is also usable directly, outside any flow.
+    engine = MultiCornerSTA(design, corners)
+    stacked = engine.update_timing(mcmm.x, mcmm.y)
+    print(f"\nstacked slack array: {stacked.slack.shape} "
+          f"(corners x pins), merged wns {stacked.wns:.1f}")
+
+
+if __name__ == "__main__":
+    main()

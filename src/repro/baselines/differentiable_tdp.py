@@ -45,6 +45,8 @@ class DifferentiableTDPConfig:
     temperature: float = 0.25
     criticality_threshold: float = 0.05
     attraction_ratio: float = 0.15
+    # MCMM corners spec (None, "fast,typ,slow", or Corner objects).
+    corners: Optional[object] = None
     verbose: bool = False
 
     def placement_config(self) -> PlacementConfig:

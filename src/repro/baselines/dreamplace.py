@@ -29,6 +29,9 @@ class DreamPlaceConfig(PlacementConfig):
     """Placement config plus the optional TNS/WNS recording interval."""
 
     record_timing_every: Optional[int] = None
+    # MCMM corners spec (None, "fast,typ,slow", or Corner objects); affects
+    # timing recording and evaluation (placement itself is timing-free).
+    corners: Optional[object] = None
 
 
 @dataclass

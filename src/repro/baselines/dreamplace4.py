@@ -44,6 +44,8 @@ class DreamPlace4Config:
     momentum_decay: float = 0.75
     max_boost: float = 0.75
     max_weight: float = 6.0
+    # MCMM corners spec (None, "fast,typ,slow", or Corner objects).
+    corners: Optional[object] = None
     verbose: bool = False
 
     def placement_config(self) -> PlacementConfig:

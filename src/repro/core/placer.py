@@ -68,6 +68,10 @@ class EfficientTDPConfig:
     # STA engine mode between timing iterations (exact with tolerance 0).
     incremental_sta: bool = False
     sta_move_tolerance: float = 0.0
+    # MCMM analysis corners: None (single-corner), a preset string such as
+    # "fast,typ,slow", or a sequence of Corner objects.  Timing feedback
+    # then optimizes against the merged (worst-over-corners) slack.
+    corners: Optional[object] = None
     # Post-processing.
     legalize: bool = True
     verbose: bool = False

@@ -4,12 +4,17 @@ The evaluator plays the role of the ICCAD-2015 contest evaluation kit: every
 competing placement of the same design is scored with one STA configuration
 (same constraints, same wire RC, same Elmore model) so differences come from
 the placement alone.
+
+With ``corners`` the evaluator scores against a multi-corner analysis: the
+headline ``tns``/``wns`` become the *merged* (worst-over-corners) metrics and
+the report additionally carries the per-corner breakdown.  A single identity
+corner reproduces the single-corner numbers bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -17,12 +22,17 @@ from repro.netlist.core import as_core
 from repro.netlist.design import Design
 from repro.placement.wirelength import total_hpwl
 from repro.timing.constraints import TimingConstraints
+from repro.timing.mcmm import CornersSpec, MultiCornerResult, MultiCornerSTA
 from repro.timing.sta import STAEngine
 
 
 @dataclass
 class EvaluationReport:
-    """Scores of one placement."""
+    """Scores of one placement.
+
+    ``tns``/``wns`` are merged over corners when the evaluation was
+    multi-corner (``per_corner`` is then populated, keyed by corner name).
+    """
 
     design_name: str
     hpwl: float
@@ -32,9 +42,10 @@ class EvaluationReport:
     num_endpoints: int
     overlap_area: float
     out_of_die_cells: int
+    per_corner: Optional[Dict[str, Dict[str, float]]] = field(default=None)
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "design": self.design_name,
             "hpwl": self.hpwl,
             "tns": self.tns,
@@ -44,6 +55,9 @@ class EvaluationReport:
             "overlap_area": self.overlap_area,
             "out_of_die_cells": self.out_of_die_cells,
         }
+        if self.per_corner is not None:
+            out["per_corner"] = self.per_corner
+        return out
 
 
 class Evaluator:
@@ -53,12 +67,19 @@ class Evaluator:
         self,
         design: Design,
         constraints: Optional[TimingConstraints] = None,
+        *,
+        corners: CornersSpec = None,
     ) -> None:
         self.design = design
         self.constraints = (
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
-        self._engine = STAEngine(design, self.constraints)
+        if corners is not None:
+            self._engine: "STAEngine | MultiCornerSTA" = MultiCornerSTA(
+                design, corners, default_constraints=self.constraints
+            )
+        else:
+            self._engine = STAEngine(design, self.constraints)
 
     def evaluate(
         self,
@@ -75,6 +96,9 @@ class Evaluator:
         core = design.core
         hpwl = total_hpwl(core, x, y)
         result = self._engine.update_timing(x, y)
+        per_corner = (
+            result.per_corner_summary() if isinstance(result, MultiCornerResult) else None
+        )
         overlap = _row_overlap_area(core, x, y)
         outside = _out_of_die_count(core, x, y)
         return EvaluationReport(
@@ -86,10 +110,11 @@ class Evaluator:
             num_endpoints=int(result.endpoint_pins.size),
             overlap_area=overlap,
             out_of_die_cells=outside,
+            per_corner=per_corner,
         )
 
     @property
-    def engine(self) -> STAEngine:
+    def engine(self) -> "STAEngine | MultiCornerSTA":
         """The underlying STA engine (shared with reporting utilities)."""
         return self._engine
 
@@ -100,9 +125,10 @@ def evaluate_placement(
     y: Optional[np.ndarray] = None,
     *,
     constraints: Optional[TimingConstraints] = None,
+    corners: CornersSpec = None,
 ) -> EvaluationReport:
     """One-shot convenience wrapper around :class:`Evaluator`."""
-    return Evaluator(design, constraints).evaluate(x, y)
+    return Evaluator(design, constraints, corners=corners).evaluate(x, y)
 
 
 def _row_overlap_area(design, x: np.ndarray, y: np.ndarray) -> float:

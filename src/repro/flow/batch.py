@@ -24,6 +24,7 @@ snapshot round-trip is exact, and every flow is deterministic given its seed.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -256,12 +257,14 @@ def _make_executor(kind: str, max_workers: int) -> Executor:
 
 
 def _build_payloads(
-    jobs: Sequence[BatchJob], ship: str, packs: List[SharedDesignPack]
+    jobs: Sequence[BatchJob], ship: str, cleanup: contextlib.ExitStack
 ) -> List[Optional[object]]:
     """Compile each unique (design, scale) once and map it onto the jobs.
 
-    Shared-memory packs are appended to ``packs`` as they are created, so the
-    caller's cleanup sees them even if a later job's benchmark fails to build.
+    Shared-memory packs are registered on ``cleanup`` the moment they are
+    created, so their segments are closed **and unlinked** no matter where a
+    later failure happens — a benchmark that fails to build, a worker that
+    raises mid-batch, or the executor itself going down.
     """
     payloads: List[Optional[object]] = [None] * len(jobs)
     if ship == "generate":
@@ -273,8 +276,7 @@ def _build_payloads(
         if payload is None:
             snapshot = compile_design(load_benchmark(job.design, scale=job.scale))
             if ship == "shared":
-                pack = SharedDesignPack(snapshot)
-                packs.append(pack)
+                pack = cleanup.enter_context(SharedDesignPack(snapshot))
                 payload = pack.handle
             else:
                 payload = snapshot
@@ -312,14 +314,13 @@ def run_batch(
         max_workers = min(len(jobs), os.cpu_count() or 4)
     max_workers = max(1, int(max_workers))
     start = time.perf_counter()
-    packs: List[SharedDesignPack] = []
-    try:
-        payloads = _build_payloads(jobs, ship, packs)
+    # ExitStack guarantees close()+unlink() of every shared-memory pack on
+    # any exit path: normal completion, a failing payload build, or a worker
+    # exception that escapes the pool (no /dev/shm segment may leak).
+    with contextlib.ExitStack() as cleanup:
+        payloads = _build_payloads(jobs, ship, cleanup)
         with _make_executor(executor, max_workers) as pool:
             items = list(pool.map(run_job, jobs, payloads))
-    finally:
-        for pack in packs:
-            pack.close()
     return BatchReport(
         items=items,
         total_runtime_seconds=time.perf_counter() - start,

@@ -14,8 +14,11 @@ Four subcommands over the flow pipeline:
   config field of a preset.
 
 Config fields are overridden with repeated ``--set key=value`` flags (values
-are parsed as int/float/bool when they look like one).  Every subcommand can
-emit machine-readable JSON with ``--json PATH``.
+are parsed as int/float/bool when they look like one).  Every subcommand
+accepts ``--corners fast,typ,slow`` to run multi-corner (MCMM) timing:
+feedback and evaluation then use the merged worst-over-corner slack and the
+reports carry a per-corner breakdown.  Every subcommand can emit
+machine-readable JSON with ``--json PATH``.
 
 Examples::
 
@@ -61,6 +64,23 @@ def _parse_overrides(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
     return overrides
 
 
+def _apply_corners(args: argparse.Namespace, overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold a validated ``--corners`` spec into the config overrides."""
+    spec = getattr(args, "corners", None)
+    if spec is None:
+        return overrides
+    from repro.timing.mcmm import resolve_corners
+
+    try:
+        resolve_corners(spec)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"--corners: {exc}") from exc
+    if "corners" in overrides:
+        raise SystemExit("use --corners instead of --set corners=...")
+    overrides["corners"] = spec
+    return overrides
+
+
 def _check_designs(names: Sequence[str]) -> None:
     known = set(benchmark_names())
     unknown = [name for name in names if name not in known]
@@ -89,6 +109,14 @@ def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument(
         "--scale", type=float, default=1.0, help="benchmark size multiplier"
+    )
+    parser.add_argument(
+        "--corners",
+        default=None,
+        metavar="SPEC",
+        help="MCMM analysis corners as comma-separated presets "
+        "(e.g. fast,typ,slow); timing feedback and evaluation then use "
+        "merged worst-over-corner slack",
     )
     parser.add_argument(
         "--set",
@@ -163,7 +191,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.flow.presets import build_flow
 
     _check_designs([args.design])
-    overrides = _parse_overrides(args.overrides)
+    overrides = _apply_corners(args, _parse_overrides(args.overrides))
     overrides.setdefault("seed", args.seed)
     design = load_benchmark(args.design, scale=args.scale)
     try:
@@ -218,7 +246,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not designs:
         raise SystemExit("repro batch: name at least one design or pass --all")
     _check_designs(designs)
-    overrides = _parse_overrides(args.overrides)
+    overrides = _apply_corners(args, _parse_overrides(args.overrides))
     jobs = [
         BatchJob(
             design=design,
@@ -242,7 +270,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.flow.presets import get_preset
 
     _check_designs([args.design])
-    overrides = _parse_overrides(args.overrides)
+    overrides = _apply_corners(args, _parse_overrides(args.overrides))
     jobs = []
     applied_keys = set()
     for preset in preset_names():
@@ -280,7 +308,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.flow.presets import get_preset
 
     _check_designs([args.design])
-    overrides = _parse_overrides(args.overrides)
+    overrides = _apply_corners(args, _parse_overrides(args.overrides))
     default_config = get_preset(args.preset).default_config()
     if args.param != "seed" and not hasattr(default_config, args.param):
         raise SystemExit(

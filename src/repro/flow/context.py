@@ -11,12 +11,13 @@ final report.  Anything not worth a dedicated field goes into ``metadata``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.netlist.design import Design
-from repro.timing.constraints import TimingConstraints
+from repro.timing.constraints import Corner, TimingConstraints
+from repro.timing.mcmm import MultiCornerResult, MultiCornerSTA
 from repro.timing.sta import STAEngine, STAResult
 from repro.utils.profiling import RuntimeProfiler
 
@@ -44,6 +45,9 @@ class FlowContext:
     constraints: TimingConstraints
     profiler: RuntimeProfiler
     seed: int = 0
+    # MCMM: analysis corners shared by timing and evaluation stages
+    # (``None`` = plain single-corner analysis, today's behavior).
+    corners: Optional[Tuple[Corner, ...]] = None
     # Positions (set by placement, rewritten by legalization).
     x: Optional[np.ndarray] = None
     y: Optional[np.ndarray] = None
@@ -51,8 +55,8 @@ class FlowContext:
     placement: Optional["PlacementResult"] = None
     history: Optional["PlacementHistory"] = None
     evaluation: Optional["EvaluationReport"] = None
-    sta: Optional[STAEngine] = None
-    sta_result: Optional[STAResult] = None
+    sta: Optional[Union[STAEngine, MultiCornerSTA]] = None
+    sta_result: Optional[Union[STAResult, MultiCornerResult]] = None
     pin_pairs: Optional["PinPairSet"] = None
     extraction_stats: List["PathExtractionStats"] = field(default_factory=list)
     # Wiring between configuration stages and the placement stage.
@@ -61,17 +65,28 @@ class FlowContext:
     # Free-form stage outputs (legalization diagnostics, CLI echoes, ...).
     metadata: Dict[str, Any] = field(default_factory=dict)
 
-    def require_sta(self, **engine_kwargs: Any) -> STAEngine:
+    def require_sta(self, **engine_kwargs: Any) -> "STAEngine | MultiCornerSTA":
         """Return the flow-wide STA engine, creating it on first use.
 
         All timing stages share one engine so the timing graph is built once
-        per run.  ``engine_kwargs`` (e.g. ``incremental=True``) apply to the
-        creating call; a later caller requesting *different* settings than
-        the engine was created with raises instead of being silently handed
-        a mismatched engine.
+        per run.  With :attr:`corners` set the shared engine is a
+        :class:`MultiCornerSTA` (the flow then optimizes against merged
+        slack); otherwise it is the plain single-corner :class:`STAEngine`.
+        ``engine_kwargs`` (e.g. ``incremental=True``) apply to the creating
+        call; a later caller requesting *different* settings than the engine
+        was created with raises instead of being silently handed a
+        mismatched engine.
         """
         if self.sta is None:
-            self.sta = STAEngine(self.design, self.constraints, **engine_kwargs)
+            if self.corners is not None:
+                self.sta = MultiCornerSTA(
+                    self.design,
+                    self.corners,
+                    default_constraints=self.constraints,
+                    **engine_kwargs,
+                )
+            else:
+                self.sta = STAEngine(self.design, self.constraints, **engine_kwargs)
             return self.sta
         engine = self.sta
         effective = {

@@ -119,12 +119,13 @@ def _efficient_tdp_stages(config: Any) -> List[FlowStage]:
             ),
             start_iteration=config.timing_start_iteration,
             interval=config.timing_update_interval,
+            corners=config.corners,
         ),
         GlobalPlaceStage(config.placement_config()),
     ]
     if config.legalize:
         stages.append(LegalizeStage())
-    stages.append(EvaluateStage())
+    stages.append(EvaluateStage(corners=config.corners))
     return stages
 
 
@@ -150,9 +151,16 @@ def _dreamplace_stages(config: Any) -> List[FlowStage]:
                 RecordTimingStrategy(),
                 start_iteration=0,
                 interval=config.record_timing_every,
+                corners=getattr(config, "corners", None),
             )
         )
-    stages.extend([GlobalPlaceStage(config), LegalizeStage(), EvaluateStage()])
+    stages.extend(
+        [
+            GlobalPlaceStage(config),
+            LegalizeStage(),
+            EvaluateStage(corners=getattr(config, "corners", None)),
+        ]
+    )
     return stages
 
 
@@ -180,10 +188,11 @@ def _dreamplace4_stages(config: Any) -> List[FlowStage]:
             ),
             start_iteration=config.timing_start_iteration,
             interval=config.timing_update_interval,
+            corners=config.corners,
         ),
         GlobalPlaceStage(config.placement_config()),
         LegalizeStage(),
-        EvaluateStage(),
+        EvaluateStage(corners=config.corners),
     ]
 
 
@@ -211,10 +220,11 @@ def _differentiable_tdp_stages(config: Any) -> List[FlowStage]:
             ),
             start_iteration=config.timing_start_iteration,
             interval=config.timing_update_interval,
+            corners=config.corners,
         ),
         GlobalPlaceStage(config.placement_config()),
         LegalizeStage(),
-        EvaluateStage(),
+        EvaluateStage(corners=config.corners),
     ]
 
 

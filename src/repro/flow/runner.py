@@ -72,6 +72,9 @@ class FlowResult:
                 overlap_area=ev.overlap_area,
                 out_of_die_cells=ev.out_of_die_cells,
             )
+            if ev.per_corner is not None:
+                out["corners"] = list(ev.per_corner)
+                out["per_corner"] = ev.per_corner
         if self.context.placement is not None:
             out["iterations"] = self.context.placement.iterations
             out["converged"] = self.context.placement.converged
@@ -108,6 +111,7 @@ class FlowRunner:
         design: Design,
         *,
         constraints: Optional[TimingConstraints] = None,
+        corners=None,
         seed: Optional[int] = None,
         profiler: Optional[RuntimeProfiler] = None,
     ) -> FlowResult:
@@ -119,6 +123,12 @@ class FlowRunner:
         explicitly is a cross-check: a value disagreeing with the stage
         config raises instead of silently labeling the run with a seed that
         never seeded anything.
+
+        ``corners`` selects the MCMM analysis corners for the whole run
+        (timing feedback and evaluation).  Resolution order: this argument,
+        then corner specs carried by the design (e.g. restored from a
+        :class:`repro.netlist.CompiledDesign` snapshot), then any
+        ``corners=`` the stages were built with.
         """
         config_seed = self._stage_config_seed()
         if seed is None:
@@ -129,6 +139,13 @@ class FlowRunner:
                 f"config.seed={config_seed}; set the seed through the "
                 "stage/preset config (e.g. build_flow(..., seed=...))"
             )
+        if corners is None:
+            corners = getattr(design, "corners", None)
+        resolved_corners = None
+        if corners is not None:
+            from repro.timing.mcmm import resolve_corners
+
+            resolved_corners = resolve_corners(corners)
         ctx = FlowContext(
             design=design,
             constraints=(
@@ -138,6 +155,7 @@ class FlowRunner:
             ),
             profiler=profiler if profiler is not None else RuntimeProfiler(),
             seed=seed,
+            corners=resolved_corners,
         )
         stage_seconds: Dict[str, float] = {}
         start = time.perf_counter()

@@ -34,6 +34,7 @@ from repro.flow.stage import register_stage
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.placement.legalization.abacus import AbacusLegalizer
 from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.timing.mcmm import CornersSpec, MultiCornerResult, MultiCornerSTA, resolve_corners
 from repro.timing.sta import STAResult
 from repro.utils.logging import get_logger
 from repro.weighting.net_weighting import MomentumNetWeighting
@@ -71,6 +72,16 @@ def calibrate_attraction_weight(
         logger.debug("calibrated attraction weight to %.3e", attraction.weight)
         return True
     return False
+
+
+def merged_result(result: "STAResult | MultiCornerResult") -> STAResult:
+    """Single-corner view of a timing result.
+
+    Multi-corner results collapse to their pessimistic merge (per-pin worst
+    slack over corners) — the quantity MCMM-aware timing feedback optimizes;
+    single-corner results pass through unchanged.
+    """
+    return result.merged if isinstance(result, MultiCornerResult) else result
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +166,18 @@ class PinPairAttractionStrategy(TimingStrategyBase):
     def prepare(self, ctx: FlowContext) -> None:
         with ctx.profiler.section("io"):
             self.sta = ctx.require_sta(**self._engine_kwargs())
-            self.extractor = CriticalPathExtractor(self.sta, self.extraction)
+            # One extractor per corner: critical paths are corner-specific
+            # (a path failing only at the slow corner must still attract its
+            # pins), so MCMM extraction walks every corner's annotations and
+            # pools the pin pairs.  Single-corner flows keep one extractor.
+            if isinstance(self.sta, MultiCornerSTA):
+                self.extractors = [
+                    CriticalPathExtractor(self.sta.corner_view(index), self.extraction)
+                    for index in range(self.sta.num_corners)
+                ]
+            else:
+                self.extractors = [CriticalPathExtractor(self.sta, self.extraction)]
+            self.extractor = self.extractors[0]
             self.pairs = PinPairSet(w0=self.w0, w1=self.w1)
             self.attraction = PinAttractionObjective(
                 ctx.design,
@@ -180,8 +202,16 @@ class PinPairAttractionStrategy(TimingStrategyBase):
     ) -> STAResult:
         with ctx.profiler.section("timing_analysis"):
             result = self.sta.update_timing(x, y)
-            paths, stats = self.extractor.extract(result)
-        ctx.extraction_stats.append(stats)
+            paths = []
+            for index, extractor in enumerate(self.extractors):
+                corner_result = (
+                    result.corner_result(index)
+                    if isinstance(result, MultiCornerResult)
+                    else result
+                )
+                corner_paths, stats = extractor.extract(corner_result)
+                paths.extend(corner_paths)
+                ctx.extraction_stats.append(stats)
         with ctx.profiler.section("weighting"):
             self.pairs.update_from_paths(paths, self.sta.graph, result.wns)
             if not self.beta_calibrated and len(self.pairs) > 0:
@@ -232,7 +262,9 @@ class MomentumNetWeightStrategy(TimingStrategyBase):
         with ctx.profiler.section("timing_analysis"):
             result = self.sta.update_timing(x, y)
         with ctx.profiler.section("weighting"):
-            new_weights = self.weighting.update(ctx.design, result, placer.net_weights)
+            new_weights = self.weighting.update(
+                ctx.design, merged_result(result), placer.net_weights
+            )
             placer.set_net_weights(new_weights)
         return result
 
@@ -272,7 +304,7 @@ class SmoothPinPairStrategy(TimingStrategyBase):
             weights = smooth_pin_pair_weights(
                 ctx.design,
                 self.sta.graph,
-                result,
+                merged_result(result),
                 temperature=self.temperature,
                 threshold=self.criticality_threshold,
             )
@@ -344,6 +376,7 @@ class TimingWeightStage:
         *,
         start_iteration: int = 150,
         interval: int = 15,
+        corners: CornersSpec = None,
         **strategy_options: object,
     ) -> None:
         if isinstance(strategy, str):
@@ -353,6 +386,7 @@ class TimingWeightStage:
         self.strategy = strategy
         self.start_iteration = int(start_iteration)
         self.interval = int(interval)
+        self.corners = corners
 
     def run(self, ctx: FlowContext) -> None:
         if ctx.placer is not None:
@@ -361,6 +395,11 @@ class TimingWeightStage:
                 "list: it hooks into the placement loop via placer hooks, "
                 "so after placement has run it would be a silent no-op"
             )
+        if self.corners is not None and ctx.corners is None:
+            # Stage-level corners publish to the context so every later
+            # timing consumer (shared engine, evaluation) sees the same set;
+            # a runner-level ``corners=`` wins when both are given.
+            ctx.corners = resolve_corners(self.corners)
         self.strategy.prepare(ctx)
         ctx.placer_hooks.append(self._attach)
 
@@ -435,11 +474,24 @@ class LegalizeStage:
 
 @register_stage("evaluate")
 class EvaluateStage:
-    """Score the placement with the shared evaluator (HPWL/TNS/WNS/legality)."""
+    """Score the placement with the shared evaluator (HPWL/TNS/WNS/legality).
+
+    With corners configured (on the stage or the context) the evaluation
+    reports merged TNS/WNS as the headline metrics plus a per-corner
+    breakdown.
+    """
 
     name = "evaluate"
 
+    def __init__(self, *, corners: CornersSpec = None) -> None:
+        self.corners = corners
+
     def run(self, ctx: FlowContext) -> None:
         with ctx.profiler.section("io"):
+            corners = ctx.corners
+            if corners is None and self.corners is not None:
+                corners = resolve_corners(self.corners)
             x, y = ctx.positions()
-            ctx.evaluation = Evaluator(ctx.design, ctx.constraints).evaluate(x, y)
+            ctx.evaluation = Evaluator(
+                ctx.design, ctx.constraints, corners=corners
+            ).evaluate(x, y)

@@ -71,6 +71,9 @@ class CompiledDesign:
     clock_port: Optional[str]
     input_delays: Dict[str, float]
     output_delays: Dict[str, float]
+    # MCMM corner specs (tuple of repro.timing Corner objects or None);
+    # carried so batch workers rebuild the same analysis setup.
+    corners: Optional[Tuple[object, ...]]
     library: Library
     cell_types: Tuple[CellType, ...]
     instance_names: Tuple[str, ...]
@@ -190,6 +193,7 @@ class CompiledDesign:
         design.clock_port = self.clock_port
         design.input_delays = dict(self.input_delays)
         design.output_delays = dict(self.output_delays)
+        design.corners = self.corners
         design.finalize()
 
         core = design.core
@@ -207,6 +211,14 @@ class CompiledDesign:
 def compile_design(design: Design) -> CompiledDesign:
     """Snapshot a finalized design into a :class:`CompiledDesign`."""
     core = design.core
+    corners = design.corners
+    if corners is not None:
+        # Normalize spec strings ("fast,typ,slow") into Corner tuples so the
+        # snapshot is self-contained (lazy import: netlist must not depend on
+        # timing at module load).
+        from repro.timing.mcmm import resolve_corners
+
+        corners = resolve_corners(corners)
     orientations: Optional[Tuple[str, ...]] = tuple(
         inst.orientation for inst in design.instances
     )
@@ -223,6 +235,7 @@ def compile_design(design: Design) -> CompiledDesign:
         clock_port=design.clock_port,
         input_delays=dict(design.input_delays),
         output_delays=dict(design.output_delays),
+        corners=corners,
         library=design.library,
         cell_types=core.cell_types,
         instance_names=tuple(inst.name for inst in design.instances),
@@ -267,15 +280,24 @@ class SharedDesignHandle:
         from multiprocessing import shared_memory
 
         shm = shared_memory.SharedMemory(name=self.shm_name)
-        arrays: Dict[str, np.ndarray] = {}
-        for name, spec in self.specs.items():
-            count = int(np.prod(spec.shape)) if spec.shape else 1
-            arr = np.frombuffer(
-                shm.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
-            ).reshape(spec.shape)
-            arr.flags.writeable = False
-            arrays[name] = arr
-        return LoadedSharedDesign(replace(self.payload, **arrays), shm)
+        try:
+            arrays: Dict[str, np.ndarray] = {}
+            for name, spec in self.specs.items():
+                count = int(np.prod(spec.shape)) if spec.shape else 1
+                arr = np.frombuffer(
+                    shm.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+                ).reshape(spec.shape)
+                arr.flags.writeable = False
+                arrays[name] = arr
+            return LoadedSharedDesign(replace(self.payload, **arrays), shm)
+        except BaseException:
+            # Don't leave the worker-side mapping open on a failed attach.
+            # Drop every numpy view first: close() refuses while buffer
+            # exports are alive.
+            arr = None
+            arrays = None  # type: ignore[assignment]
+            shm.close()
+            raise
 
 
 class LoadedSharedDesign:
@@ -305,10 +327,17 @@ class SharedDesignPack:
 
     Usage::
 
-        pack = SharedDesignPack(compile_design(design))
-        pool.submit(worker, pack.handle)   # handle pickles in O(names)
-        ...
-        pack.close()                       # after all workers are done
+        with SharedDesignPack(compile_design(design)) as pack:
+            pool.submit(worker, pack.handle)   # handle pickles in O(names)
+            ...
+        # block is closed + unlinked on exit, even if a worker raised
+
+    ``close()`` (or leaving the ``with`` block) both closes the mapping and
+    unlinks the segment, so no ``/dev/shm`` entry outlives the pack — the
+    batch runner keeps every pack it creates inside an ``ExitStack`` for the
+    same reason.  Construction is exception-safe: if copying the arrays into
+    the fresh segment fails, the segment is unlinked before the error
+    propagates.
     """
 
     def __init__(self, compiled: CompiledDesign) -> None:
@@ -323,18 +352,24 @@ class SharedDesignPack:
             specs[name] = _ArraySpec(arr.dtype.str, tuple(arr.shape), offset)
             offset += arr.nbytes
         self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for name in _ARRAY_FIELDS:
-            arr = getattr(compiled, name)
-            spec = specs[name]
-            dest = np.frombuffer(
-                self._shm.buf, dtype=arr.dtype, count=arr.size, offset=spec.offset
-            ).reshape(arr.shape)
-            dest[...] = arr
-        self.handle = SharedDesignHandle(
-            shm_name=self._shm.name,
-            specs=specs,
-            payload=replace(compiled, **{name: None for name in _ARRAY_FIELDS}),
-        )
+        try:
+            for name in _ARRAY_FIELDS:
+                arr = getattr(compiled, name)
+                spec = specs[name]
+                dest = np.frombuffer(
+                    self._shm.buf, dtype=arr.dtype, count=arr.size, offset=spec.offset
+                ).reshape(arr.shape)
+                dest[...] = arr
+            self.handle = SharedDesignHandle(
+                shm_name=self._shm.name,
+                specs=specs,
+                payload=replace(compiled, **{name: None for name in _ARRAY_FIELDS}),
+            )
+        except BaseException:
+            # Never leak a half-initialized segment: nobody else holds the
+            # name yet, so close + unlink here is the only cleanup chance.
+            self.close()
+            raise
 
     def close(self) -> None:
         """Release the shared block (close + unlink). Idempotent."""
@@ -345,3 +380,9 @@ class SharedDesignPack:
             except FileNotFoundError:  # pragma: no cover - already unlinked
                 pass
             self._shm = None
+
+    def __enter__(self) -> "SharedDesignPack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

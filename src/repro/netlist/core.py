@@ -389,13 +389,19 @@ class DesignCore:
     def set_floorplan(
         self,
         *,
-        die: Optional[Rect] = None,
+        die: Optional[Rect | Tuple[float, float, float, float]] = None,
         row_height: Optional[float] = None,
         site_width: Optional[float] = None,
     ) -> None:
-        """Update floorplan parameters (invalidates the cached rows)."""
+        """Update floorplan parameters (invalidates the cached rows).
+
+        The rows cache keys on the *values* of the floorplan, so both this
+        method and a direct attribute assignment invalidate it on the next
+        :meth:`rows` call.  Tuples are normalized to :class:`Rect` so the
+        cache key never sees a malformed die.
+        """
         if die is not None:
-            self.die = die
+            self.die = die if isinstance(die, Rect) else Rect(*die)
         if row_height is not None:
             self.row_height = float(row_height)
         if site_width is not None:

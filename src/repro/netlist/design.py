@@ -282,6 +282,11 @@ class Design:
         self.clock_port: Optional[str] = None
         self.input_delays: Dict[str, float] = {}
         self.output_delays: Dict[str, float] = {}
+        # Optional MCMM analysis corners (tuple of repro.timing Corner
+        # objects, or a preset spec string).  Carried by CompiledDesign
+        # snapshots so batch workers rebuild the same analysis setup; flows
+        # fall back to these when no corners are configured explicitly.
+        self.corners: Optional[Tuple[object, ...]] = None
 
     # ------------------------------------------------------------------
     # Floorplan parameters (synced to the core so its rows cache can

@@ -17,13 +17,20 @@ from repro.timing.delay_model import CellDelayModel, WireRCModel
 from repro.timing.rc_tree import RCTree
 from repro.timing.steiner import star_topology, mst_topology, NetTopology
 from repro.timing.sta import STAEngine, STAResult
+from repro.timing.mcmm import (
+    CORNER_PRESETS,
+    MultiCornerResult,
+    MultiCornerSTA,
+    corner_preset,
+    resolve_corners,
+)
 from repro.timing.report import (
     TimingPath,
     report_timing,
     report_timing_endpoint,
     PathExtractionStats,
 )
-from repro.timing.constraints import TimingConstraints
+from repro.timing.constraints import Corner, TimingConstraints
 
 __all__ = [
     "Arc",
@@ -37,6 +44,12 @@ __all__ = [
     "NetTopology",
     "STAEngine",
     "STAResult",
+    "CORNER_PRESETS",
+    "Corner",
+    "MultiCornerResult",
+    "MultiCornerSTA",
+    "corner_preset",
+    "resolve_corners",
     "TimingPath",
     "report_timing",
     "report_timing_endpoint",

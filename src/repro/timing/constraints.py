@@ -1,10 +1,15 @@
-"""Timing constraints consumed by the STA engine.
+"""Timing constraints and analysis-corner specs consumed by the STA engines.
 
 The constraints mirror the subset of SDC the library parses: one ideal clock,
 per-port input/output delays, and a global flip-flop setup time.  They can be
 constructed directly, converted from a parsed
 :class:`repro.netlist.parsers.sdc.SDCConstraints`, or pulled from the fields a
 :class:`repro.netlist.Design` carries after ``apply_sdc``.
+
+A :class:`TimingConstraints` describes one *mode*; a :class:`Corner` couples a
+mode with the physical derates of one PVT corner (wire-RC scale, cell-delay
+derate).  Multi-corner/multi-mode analysis stacks several corners in one
+:class:`repro.timing.mcmm.MultiCornerSTA` pass.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from repro.netlist.design import Design
 
 @dataclass
 class TimingConstraints:
-    """Constraints for one analysis corner."""
+    """Constraints for one analysis mode (clock, IO delays, setup margin)."""
 
     clock_period: float = 1000.0
     clock_name: str = "clk"
@@ -52,3 +57,49 @@ class TimingConstraints:
             raise ValueError("clock_period must be positive")
         if self.setup_time < 0:
             raise ValueError("setup_time cannot be negative")
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One PVT analysis corner: physical derates plus an optional mode.
+
+    ``wire_rc_scale`` multiplies both per-unit wire resistance and
+    capacitance; ``cell_derate`` multiplies every cell-arc delay.  The
+    identity corner (both 1.0) reproduces the plain single-corner engine bit
+    for bit.  ``constraints`` optionally pins the corner to a specific mode;
+    when ``None`` the design's SDC-derived constraints are used.
+    """
+
+    name: str
+    wire_rc_scale: float = 1.0
+    cell_derate: float = 1.0
+    constraints: Optional[TimingConstraints] = None
+
+    def validate(self) -> None:
+        if self.wire_rc_scale <= 0:
+            raise ValueError(f"Corner {self.name!r}: wire_rc_scale must be positive")
+        if self.cell_derate <= 0:
+            raise ValueError(f"Corner {self.name!r}: cell_derate must be positive")
+        if self.constraints is not None:
+            self.constraints.validate()
+
+    def constraints_for(
+        self, design: Design, default: Optional[TimingConstraints] = None
+    ) -> TimingConstraints:
+        """The corner's mode constraints.
+
+        Resolution order (the one :class:`repro.timing.mcmm.MultiCornerSTA`
+        uses): the corner's own pinned constraints, then the caller-provided
+        ``default`` (e.g. a flow's constraints), then the design's
+        SDC-derived fields.
+        """
+        if self.constraints is not None:
+            return self.constraints
+        if default is not None:
+            return default
+        return TimingConstraints.from_design(design)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the corner applies no physical derating."""
+        return self.wire_rc_scale == 1.0 and self.cell_derate == 1.0

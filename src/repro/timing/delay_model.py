@@ -40,6 +40,46 @@ class WireDelayResult:
     net_wirelength: np.ndarray  # [num_nets] estimated routed length (star)
 
 
+@dataclass
+class StackedWireDelayResult:
+    """Wire delays for several corners at once (corner axis first)."""
+
+    net_load: np.ndarray        # [num_corners, num_nets]
+    sink_delay: np.ndarray      # [num_corners, num_pins]
+    net_wirelength: np.ndarray  # [num_nets] (corner-independent geometry)
+
+    def corner(self, index: int) -> WireDelayResult:
+        return WireDelayResult(
+            net_load=self.net_load[index],
+            sink_delay=self.sink_delay[index],
+            net_wirelength=self.net_wirelength,
+        )
+
+
+@dataclass
+class _WireGeometry:
+    """Corner-independent per-position quantities shared by all RC corners.
+
+    Everything here depends only on pin positions and pin capacitances —
+    never on the per-unit wire RC — so a multi-corner evaluation computes it
+    once and reuses it for every corner's :meth:`WireRCModel._combine`.
+    """
+
+    csr_pins: np.ndarray        # selected CSR pin indices (net_mask applied)
+    csr_net: np.ndarray         # net id per selected CSR entry
+    cx: np.ndarray              # [num_nets] star-center x
+    cy: np.ndarray              # [num_nets] star-center y
+    seg_len: np.ndarray         # per selected CSR entry: Manhattan segment length
+    pin_cap_sum: np.ndarray     # [num_nets] total pin capacitance
+    net_wirelength: np.ndarray  # [num_nets] total star wirelength
+    has_driver: np.ndarray      # [num_nets] bool
+    driver_cap: np.ndarray      # [num_nets] driver pin capacitance (0 if none)
+    driver_seg_len: np.ndarray  # [num_nets] driver-to-center segment length
+    sink_pins: np.ndarray       # selected sink pin indices
+    sink_nets: np.ndarray       # net id per selected sink
+    sink_seg_len: np.ndarray    # sink-to-center segment length per selected sink
+
+
 class WireRCModel:
     """Star-topology Elmore delay for every net, fully vectorized."""
 
@@ -83,16 +123,48 @@ class WireRCModel:
         pin_y: np.ndarray,
         *,
         net_mask: Optional[np.ndarray] = None,
+        rc_scale: float = 1.0,
     ) -> WireDelayResult:
         """Compute loads and Elmore sink delays for pin positions ``(pin_x, pin_y)``.
 
         With ``net_mask`` only the selected nets are evaluated (the returned
         arrays are full-size but meaningful only for masked nets and their
         pins); per-net values are bitwise identical to an unmasked pass, which
-        is what makes the incremental STA mode exact.
+        is what makes the incremental STA mode exact.  ``rc_scale`` scales
+        both per-unit resistance and capacitance (PVT corner derating); the
+        identity scale multiplies by exactly 1.0 and therefore changes no bit.
         """
-        r = self.resistance_per_unit
-        c = self.capacitance_per_unit
+        return self._combine(self._geometry(pin_x, pin_y, net_mask), rc_scale)
+
+    def evaluate_stacked(
+        self,
+        pin_x: np.ndarray,
+        pin_y: np.ndarray,
+        rc_scales,
+        *,
+        net_mask: Optional[np.ndarray] = None,
+    ) -> StackedWireDelayResult:
+        """Evaluate several RC corners at once, sharing the geometry pass.
+
+        Each corner's per-net values are bitwise identical to a standalone
+        :meth:`evaluate` call with the same ``rc_scale`` — the per-corner
+        combine executes the same arithmetic on the shared geometry.
+        """
+        geometry = self._geometry(pin_x, pin_y, net_mask)
+        per_corner = [self._combine(geometry, float(scale)) for scale in rc_scales]
+        return StackedWireDelayResult(
+            net_load=np.stack([res.net_load for res in per_corner]),
+            sink_delay=np.stack([res.sink_delay for res in per_corner]),
+            net_wirelength=geometry.net_wirelength,
+        )
+
+    def _geometry(
+        self,
+        pin_x: np.ndarray,
+        pin_y: np.ndarray,
+        net_mask: Optional[np.ndarray],
+    ) -> _WireGeometry:
+        """Position-dependent, RC-independent quantities (the bincount pass)."""
         csr_pins = self._csr_pins
         csr_net = self._csr_net
         num_nets = self._num_nets
@@ -108,49 +180,75 @@ class WireRCModel:
 
         # Manhattan length of each pin's segment to the star center.
         seg_len = np.abs(pin_x[csr_pins] - cx[csr_net]) + np.abs(pin_y[csr_pins] - cy[csr_net])
-        seg_cap = c * seg_len
 
-        # Total wire capacitance + pin capacitance per net.
-        wire_cap = np.bincount(csr_net, weights=seg_cap, minlength=num_nets)
         pin_cap_sum = np.bincount(
             csr_net, weights=self._pin_cap[csr_pins], minlength=num_nets
         )
-        total_cap = wire_cap + pin_cap_sum
-
         net_wirelength = np.bincount(csr_net, weights=seg_len, minlength=num_nets)
 
-        # Load seen by the driver: everything except its own pin capacitance.
         driver = self._driver_pin
         has_driver = driver >= 0
         driver_cap = np.where(has_driver, self._pin_cap[np.maximum(driver, 0)], 0.0)
-        net_load = np.where(has_driver, total_cap - driver_cap, total_cap)
+        driver_seg_len = np.where(
+            has_driver,
+            np.abs(pin_x[np.maximum(driver, 0)] - cx) + np.abs(pin_y[np.maximum(driver, 0)] - cy),
+            0.0,
+        )
+
+        sink_mask = ~self._pin_is_driver[csr_pins]
+        return _WireGeometry(
+            csr_pins=csr_pins,
+            csr_net=csr_net,
+            cx=cx,
+            cy=cy,
+            seg_len=seg_len,
+            pin_cap_sum=pin_cap_sum,
+            net_wirelength=net_wirelength,
+            has_driver=has_driver,
+            driver_cap=driver_cap,
+            driver_seg_len=driver_seg_len,
+            sink_pins=csr_pins[sink_mask],
+            sink_nets=csr_net[sink_mask],
+            sink_seg_len=seg_len[sink_mask],
+        )
+
+    def _combine(self, geometry: _WireGeometry, rc_scale: float) -> WireDelayResult:
+        """Fold one corner's per-unit RC into the shared geometry."""
+        r = self.resistance_per_unit * rc_scale
+        c = self.capacitance_per_unit * rc_scale
+        csr_net = geometry.csr_net
+        num_nets = self._num_nets
+        seg_cap = c * geometry.seg_len
+
+        # Total wire capacitance + pin capacitance per net.
+        wire_cap = np.bincount(csr_net, weights=seg_cap, minlength=num_nets)
+        total_cap = wire_cap + geometry.pin_cap_sum
+
+        # Load seen by the driver: everything except its own pin capacitance.
+        net_load = np.where(
+            geometry.has_driver, total_cap - geometry.driver_cap, total_cap
+        )
         # Degenerate single-pin nets drive nothing.
         net_load = np.where(self._pin_count >= 2, net_load, 0.0)
 
         # Elmore delay components:
         #   driver segment:  R_drv * (total_cap - node_cap(driver))
         #   sink segment:    R_sink * (c*L_sink/2 + C_pin(sink))
-        driver_seg_len = np.where(
-            has_driver,
-            np.abs(pin_x[np.maximum(driver, 0)] - cx) + np.abs(pin_y[np.maximum(driver, 0)] - cy),
-            0.0,
-        )
-        driver_node_cap = c * driver_seg_len * 0.5 + driver_cap
+        driver_seg_len = geometry.driver_seg_len
+        driver_node_cap = c * driver_seg_len * 0.5 + geometry.driver_cap
         driver_stage_delay = r * driver_seg_len * np.maximum(total_cap - driver_node_cap, 0.0)
         driver_stage_delay = np.where(self._pin_count >= 2, driver_stage_delay, 0.0)
 
         sink_delay = np.zeros(self._num_pins, dtype=np.float64)
-        sink_mask = ~self._pin_is_driver[csr_pins]
-        sink_pins = csr_pins[sink_mask]
-        sink_nets = csr_net[sink_mask]
-        sink_seg_len = seg_len[sink_mask]
+        sink_pins = geometry.sink_pins
+        sink_seg_len = geometry.sink_seg_len
         sink_own_delay = r * sink_seg_len * (c * sink_seg_len * 0.5 + self._pin_cap[sink_pins])
-        sink_delay[sink_pins] = driver_stage_delay[sink_nets] + sink_own_delay
+        sink_delay[sink_pins] = driver_stage_delay[geometry.sink_nets] + sink_own_delay
 
         return WireDelayResult(
             net_load=net_load,
             sink_delay=sink_delay,
-            net_wirelength=net_wirelength,
+            net_wirelength=geometry.net_wirelength,
         )
 
 
@@ -176,8 +274,12 @@ class CellDelayModel:
         else:
             self._driven_net = np.zeros(0, dtype=np.int64)
 
-    def evaluate(self, net_load: np.ndarray) -> np.ndarray:
-        """Return a delay for every arc of the graph (net arcs left at 0)."""
+    def evaluate(self, net_load: np.ndarray, *, derate: float = 1.0) -> np.ndarray:
+        """Return a delay for every arc of the graph (net arcs left at 0).
+
+        ``derate`` multiplies every cell-arc delay (PVT corner derating); the
+        identity derate multiplies by exactly 1.0 and changes no bit.
+        """
         delays = np.zeros(self.graph.num_arcs, dtype=np.float64)
         if self._cell_arc_indices.size == 0:
             return delays
@@ -185,11 +287,16 @@ class CellDelayModel:
         arc_delay = self._intrinsic + self._slope * load
         for local_idx, spec in self._table_arcs:
             arc_delay[local_idx] = spec.delay(float(load[local_idx]))
-        delays[self._cell_arc_indices] = arc_delay
+        delays[self._cell_arc_indices] = arc_delay * derate
         return delays
 
     def update_subset(
-        self, delays: np.ndarray, net_load: np.ndarray, net_mask: np.ndarray
+        self,
+        delays: np.ndarray,
+        net_load: np.ndarray,
+        net_mask: np.ndarray,
+        *,
+        derate: float = 1.0,
     ) -> np.ndarray:
         """Refresh in ``delays`` the cell arcs driving a masked net.
 
@@ -211,5 +318,5 @@ class CellDelayModel:
                     float(net_load[self._driven_net[table_local]])
                 )
         arc_indices = self._cell_arc_indices[local_idx]
-        delays[arc_indices] = arc_delay
+        delays[arc_indices] = arc_delay * derate
         return arc_indices

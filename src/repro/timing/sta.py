@@ -42,12 +42,106 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.netlist.design import Design
-from repro.timing.constraints import TimingConstraints
+from repro.timing.constraints import Corner, TimingConstraints
 from repro.timing.delay_model import CellDelayModel, WireRCModel
 from repro.timing.graph import ArcKind, TimingGraph, csr_gather as _csr_gather
 
 _NEG_INF = -1.0e30
 _POS_INF = 1.0e30
+
+
+def boundary_conditions(
+    design: Design, graph: TimingGraph, constraints: TimingConstraints
+) -> tuple:
+    """Source arrivals and endpoint required times for one set of constraints.
+
+    Returns ``(source_pins, source_arrival, endpoint_pins, endpoint_required)``
+    as numpy arrays.  The pin sets depend only on the graph, the values only
+    on the constraints — multi-corner analysis calls this once per corner and
+    stacks the values over identical pin sets.
+    """
+    source_pins: List[int] = []
+    source_arrival: List[float] = []
+    for pin_index in graph.startpoints:
+        pin = design.pins[pin_index]
+        if pin.instance.is_port:
+            arrival = constraints.input_delay(pin.instance.name)
+        else:
+            arrival = 0.0  # ideal clock at flip-flop clock pins
+        source_pins.append(pin_index)
+        source_arrival.append(arrival)
+
+    endpoint_pins: List[int] = []
+    endpoint_required: List[float] = []
+    period = constraints.clock_period
+    for pin_index in graph.endpoints:
+        pin = design.pins[pin_index]
+        if pin.instance.is_port:
+            required = period - constraints.output_delay(pin.instance.name)
+        else:
+            required = period - constraints.setup_time
+        endpoint_pins.append(pin_index)
+        endpoint_required.append(required)
+
+    return (
+        np.array(source_pins, dtype=np.int64),
+        np.array(source_arrival, dtype=np.float64),
+        np.array(endpoint_pins, dtype=np.int64),
+        np.array(endpoint_required, dtype=np.float64),
+    )
+
+
+def level_buckets(graph: TimingGraph) -> tuple:
+    """Arc indices grouped by sink level (forward) / source level (backward).
+
+    One bucket list per propagation direction; shared by the single-corner
+    and multi-corner engines so the grouping is computed once per graph.
+    """
+    if graph.num_arcs == 0:
+        return [], []
+    to_level = graph.level[graph.arc_to]
+    from_level = graph.level[graph.arc_from]
+    max_level = graph.max_level
+    forward = [
+        np.ascontiguousarray(np.nonzero(to_level == lvl)[0], dtype=np.int64)
+        for lvl in range(1, max_level + 1)
+    ]
+    backward = [
+        np.ascontiguousarray(np.nonzero(from_level == lvl)[0], dtype=np.int64)
+        for lvl in range(max_level - 1, -1, -1)
+    ]
+    return forward, backward
+
+
+class _LevelWorklist:
+    """Dirty pins bucketed by level, deduplicated with a seen mask.
+
+    Keeps the frontier sparse: clean levels cost one dict probe, and no
+    per-level scan over the whole pin array is ever needed.
+    """
+
+    __slots__ = ("level", "seen", "pending")
+
+    def __init__(self, level: np.ndarray, num_pins: int) -> None:
+        self.level = level
+        self.seen = np.zeros(num_pins, dtype=bool)
+        self.pending: Dict[int, List[np.ndarray]] = {}
+
+    def mark(self, pins: np.ndarray) -> None:
+        fresh = pins[~self.seen[pins]]
+        if fresh.size == 0:
+            return
+        fresh = np.unique(fresh)
+        self.seen[fresh] = True
+        levels = self.level[fresh]
+        for lvl in np.unique(levels):
+            self.pending.setdefault(int(lvl), []).append(fresh[levels == lvl])
+
+    def pop(self, lvl: int) -> Optional[np.ndarray]:
+        chunks = self.pending.pop(lvl, None)
+        if not chunks:
+            return None
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
 
 
 @dataclass
@@ -130,6 +224,7 @@ class STAEngine:
         design: Design,
         constraints: Optional[TimingConstraints] = None,
         *,
+        corner: Optional[Corner] = None,
         graph: Optional[TimingGraph] = None,
         wire_model: Optional[WireRCModel] = None,
         incremental: bool = False,
@@ -137,10 +232,17 @@ class STAEngine:
         incremental_rebuild_fraction: float = 0.5,
     ) -> None:
         self.design = design
-        self.constraints = (
+        self.corner = corner
+        if corner is not None:
+            corner.validate()
+            if constraints is None:
+                constraints = corner.constraints
+        self._rc_scale = 1.0 if corner is None else float(corner.wire_rc_scale)
+        self._cell_derate = 1.0 if corner is None else float(corner.cell_derate)
+        self._constraints = (
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
-        self.constraints.validate()
+        self._constraints.validate()
         self.graph = graph if graph is not None else TimingGraph(design)
         self.wire_model = wire_model if wire_model is not None else WireRCModel(design)
         self.cell_model = CellDelayModel(self.graph)
@@ -161,60 +263,56 @@ class STAEngine:
         self._arrival: Optional[np.ndarray] = None
         self._required: Optional[np.ndarray] = None
 
+    @property
+    def constraints(self) -> TimingConstraints:
+        return self._constraints
+
+    @constraints.setter
+    def constraints(self, value: TimingConstraints) -> None:
+        self.set_constraints(value)
+
+    def set_constraints(self, constraints: TimingConstraints) -> None:
+        """Swap the analysis constraints and invalidate everything they touch.
+
+        Boundary conditions (source arrivals, endpoint required times, the
+        propagation bases) are rebuilt immediately; the cached
+        arrival/required annotations were computed under the old constraints
+        and are dropped, which forces the next ``update_timing`` into a full
+        pass.  Without this, an incremental update after a constraints swap
+        would re-propagate only from moved cells and silently keep stale
+        arrival/required times everywhere else.
+        """
+        constraints.validate()
+        self._constraints = constraints
+        self._prepare_boundary_conditions()
+        self._prepare_propagation_bases()
+        # Arc delays and net loads depend only on positions, but the
+        # arrival/required annotations (and anything derived from them) are
+        # stale under the new constraints.
+        self._arrival = None
+        self._required = None
+        self._ref_x = None
+        self._ref_y = None
+        self._arc_delay = None
+        self._net_load = None
+        self._sink_delay = None
+        self.last_result = None
+        self.last_update_stats = None
+
     # ------------------------------------------------------------------
     # Precomputation
     # ------------------------------------------------------------------
     def _prepare_boundary_conditions(self) -> None:
-        graph = self.graph
-        design = self.design
-        constraints = self.constraints
-
-        self._source_pins: List[int] = []
-        self._source_arrival: List[float] = []
-        for pin_index in graph.startpoints:
-            pin = design.pins[pin_index]
-            if pin.instance.is_port:
-                arrival = constraints.input_delay(pin.instance.name)
-            else:
-                arrival = 0.0  # ideal clock at flip-flop clock pins
-            self._source_pins.append(pin_index)
-            self._source_arrival.append(arrival)
-
-        self._endpoint_pins: List[int] = []
-        self._endpoint_required: List[float] = []
-        period = constraints.clock_period
-        for pin_index in graph.endpoints:
-            pin = design.pins[pin_index]
-            if pin.instance.is_port:
-                required = period - constraints.output_delay(pin.instance.name)
-            else:
-                required = period - constraints.setup_time
-            self._endpoint_pins.append(pin_index)
-            self._endpoint_required.append(required)
-
-        self.endpoint_pins = np.array(self._endpoint_pins, dtype=np.int64)
-        self.endpoint_required = np.array(self._endpoint_required, dtype=np.float64)
-        self.source_pins = np.array(self._source_pins, dtype=np.int64)
-        self.source_arrival = np.array(self._source_arrival, dtype=np.float64)
+        (
+            self.source_pins,
+            self.source_arrival,
+            self.endpoint_pins,
+            self.endpoint_required,
+        ) = boundary_conditions(self.design, self.graph, self.constraints)
 
     def _prepare_level_buckets(self) -> None:
         """Group arcs by the level of their sink (forward) / source (backward)."""
-        graph = self.graph
-        if graph.num_arcs == 0:
-            self._forward_buckets: List[np.ndarray] = []
-            self._backward_buckets: List[np.ndarray] = []
-            return
-        to_level = graph.level[graph.arc_to]
-        from_level = graph.level[graph.arc_from]
-        max_level = graph.max_level
-        self._forward_buckets = [
-            np.ascontiguousarray(np.nonzero(to_level == lvl)[0], dtype=np.int64)
-            for lvl in range(1, max_level + 1)
-        ]
-        self._backward_buckets = [
-            np.ascontiguousarray(np.nonzero(from_level == lvl)[0], dtype=np.int64)
-            for lvl in range(max_level - 1, -1, -1)
-        ]
+        self._forward_buckets, self._backward_buckets = level_buckets(self.graph)
 
     def _prepare_propagation_bases(self) -> None:
         """Initial arrival/required values before any arc is applied.
@@ -272,6 +370,7 @@ class STAEngine:
         return (
             self._arc_delay is not None
             and self._ref_x is not None
+            and self._arrival is not None
             and self.graph.num_arcs > 0
         )
 
@@ -280,8 +379,8 @@ class STAEngine:
         graph = self.graph
         pin_x, pin_y = design.pin_positions(x, y)
 
-        wire = self.wire_model.evaluate(pin_x, pin_y)
-        arc_delay = self.cell_model.evaluate(wire.net_load)
+        wire = self.wire_model.evaluate(pin_x, pin_y, rc_scale=self._rc_scale)
+        arc_delay = self.cell_model.evaluate(wire.net_load, derate=self._cell_derate)
         # Net arcs: Elmore delay from driver to this arc's sink pin.
         net_arc_mask = graph.arc_kind == int(ArcKind.NET)
         arc_delay[net_arc_mask] = wire.sink_delay[graph.arc_to[net_arc_mask]]
@@ -344,7 +443,9 @@ class STAEngine:
         self._sink_delay = self._sink_delay.copy()
 
         pin_x, pin_y = design.pin_positions(x, y)
-        wire = self.wire_model.evaluate(pin_x, pin_y, net_mask=net_mask)
+        wire = self.wire_model.evaluate(
+            pin_x, pin_y, net_mask=net_mask, rc_scale=self._rc_scale
+        )
         dirty_pins = self.wire_model.pins_of_nets(net_mask)
         self._net_load[net_mask] = wire.net_load[net_mask]
         self._sink_delay[dirty_pins] = wire.sink_delay[dirty_pins]
@@ -356,7 +457,7 @@ class STAEngine:
         ] & (graph.arc_net >= 0)
         self._arc_delay[net_arc_dirty] = self._sink_delay[graph.arc_to[net_arc_dirty]]
         cell_arc_dirty = self.cell_model.update_subset(
-            self._arc_delay, self._net_load, net_mask
+            self._arc_delay, self._net_load, net_mask, derate=self._cell_derate
         )
         dirty_arcs = np.concatenate([np.nonzero(net_arc_dirty)[0], cell_arc_dirty])
 
@@ -379,35 +480,9 @@ class STAEngine:
         )
         return self._assemble_result()
 
-    class _LevelWorklist:
-        """Dirty pins bucketed by level, deduplicated with a seen mask.
-
-        Keeps the frontier sparse: clean levels cost one dict probe, and no
-        per-level scan over the whole pin array is ever needed.
-        """
-
-        __slots__ = ("level", "seen", "pending")
-
-        def __init__(self, level: np.ndarray, num_pins: int) -> None:
-            self.level = level
-            self.seen = np.zeros(num_pins, dtype=bool)
-            self.pending: Dict[int, List[np.ndarray]] = {}
-
-        def mark(self, pins: np.ndarray) -> None:
-            fresh = pins[~self.seen[pins]]
-            if fresh.size == 0:
-                return
-            fresh = np.unique(fresh)
-            self.seen[fresh] = True
-            levels = self.level[fresh]
-            for lvl in np.unique(levels):
-                self.pending.setdefault(int(lvl), []).append(fresh[levels == lvl])
-
-        def pop(self, lvl: int) -> Optional[np.ndarray]:
-            chunks = self.pending.pop(lvl, None)
-            if not chunks:
-                return None
-            return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    # Backwards-compatible alias: the worklist moved to module level so the
+    # multi-corner engine can share it.
+    _LevelWorklist = _LevelWorklist
 
     def _incremental_forward(self, dirty_arcs: np.ndarray) -> int:
         """Recompute arrival times downstream of the dirty arcs."""

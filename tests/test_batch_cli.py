@@ -169,6 +169,45 @@ class TestCLICommands:
         assert payload["aggregate"]["ok"] == 4
         assert "Batch: 4/4 ok" in capsys.readouterr().out
 
+    def test_run_with_corners_reports_per_corner(self, tmp_path):
+        out = tmp_path / "mcmm.json"
+        code = main([
+            "run", "sb_mini_18", "--preset", "dreamplace", "--scale", "0.2",
+            "--set", "max_iterations=40", "--corners", "fast,typ,slow",
+            "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["corners"] == ["fast", "typ", "slow"]
+        assert set(payload["per_corner"]) == {"fast", "typ", "slow"}
+        # Headline WNS is the merged (worst-corner) value.
+        assert payload["wns"] == min(
+            row["wns"] for row in payload["per_corner"].values()
+        )
+
+    def test_unknown_corner_preset_exits(self):
+        with pytest.raises(SystemExit, match="corners"):
+            main(["run", "sb_mini_18", "--corners", "nonsense"])
+
+    def test_corners_via_set_rejected(self):
+        with pytest.raises(SystemExit, match="--corners"):
+            main([
+                "run", "sb_mini_18", "--corners", "typ",
+                "--set", "corners=fast",
+            ])
+
+    def test_batch_with_corners(self, tmp_path):
+        out = tmp_path / "batch_mcmm.json"
+        code = main([
+            "batch", "sb_mini_18", "sb_mini_4", "--preset", "dreamplace",
+            "--scale", "0.2", "--jobs", "2", "--set", "max_iterations=40",
+            "--corners", "fast,slow", "--ship", "compiled", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        for item in payload["items"]:
+            assert set(item["summary"]["per_corner"]) == {"fast", "slow"}
+
     def test_batch_unknown_design_exits(self):
         with pytest.raises(SystemExit):
             main(["batch", "not_a_design"])

@@ -92,6 +92,39 @@ class TestRowsCache:
         tiny_design.die = (die.xl, die.yl, die.xh, die.yh + 24)
         assert len(tiny_design.rows()) == len(rows1) + 2
 
+    def test_core_set_floorplan_accepts_tuple(self, tiny_design):
+        """A tuple die must be normalized to Rect; a raw tuple would poison
+        the rows-cache key on the next rows() call."""
+        core = tiny_design.core
+        rows1 = core.rows()
+        die = core.die
+        core.set_floorplan(die=(die.xl, die.yl, die.xh, die.yh + 12))
+        rows2 = core.rows()
+        assert len(rows2) == len(rows1) + 1
+        assert core.rows() is rows2  # re-cached under the new key
+
+    def test_row_resize_after_finalize_reflected_everywhere(self, tiny_design):
+        """Design-level floorplan mutation after finalize() must invalidate
+        the core rows cache and keep design.rows()/core.rows() in agreement
+        (regression: a stale cache here silently mis-legalizes)."""
+        tiny_design.rows()
+        tiny_design.site_width = tiny_design.site_width * 2
+        tiny_design.row_height = tiny_design.row_height * 2
+        design_rows = tiny_design.rows()
+        assert design_rows is tiny_design.core.rows()
+        assert design_rows[0].site_width == tiny_design.site_width
+        assert design_rows[0].height == tiny_design.row_height
+
+    def test_movable_masks_unaffected_by_floorplan_mutation(self, tiny_design):
+        """Floorplan changes must not disturb the frozen movable masks."""
+        core = tiny_design.core
+        mask_before = core.movable_mask.copy()
+        index_before = core.movable_index.copy()
+        die = core.die
+        core.set_floorplan(die=(die.xl, die.yl, die.xh + 48, die.yh + 48))
+        np.testing.assert_array_equal(core.movable_mask, mask_before)
+        np.testing.assert_array_equal(core.movable_index, index_before)
+
 
 class TestSnapshotRoundTrip:
     @pytest.fixture(scope="class")
@@ -227,3 +260,123 @@ class TestBatchShipParity:
     def test_unknown_ship_mode_rejected(self):
         with pytest.raises(ValueError, match="ship"):
             run_batch(self._jobs()[:1], ship="carrier_pigeon")
+
+
+def _shm_entries():
+    """Names currently present under /dev/shm (empty set if unsupported)."""
+    from pathlib import Path
+
+    root = Path("/dev/shm")
+    if not root.exists():  # pragma: no cover - non-Linux
+        return set()
+    return {entry.name for entry in root.iterdir()}
+
+
+class TestSharedDesignPackLifecycle:
+    """No /dev/shm segment may outlive its batch, on any failure path."""
+
+    @pytest.fixture()
+    def compiled(self):
+        return compile_design(load_benchmark("sb_mini_18", scale=0.2))
+
+    def test_context_manager_closes_and_unlinks(self, compiled):
+        before = _shm_entries()
+        with SharedDesignPack(compiled) as pack:
+            created = _shm_entries() - before
+            assert len(created) == 1  # the segment exists while open
+            assert pack.handle.shm_name.lstrip("/") in created
+        assert _shm_entries() == before
+        pack.close()  # idempotent after __exit__
+
+    def test_init_failure_leaves_no_segment(self, compiled, monkeypatch):
+        import repro.netlist.compiled as compiled_mod
+
+        before = _shm_entries()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected frombuffer failure")
+
+        monkeypatch.setattr(compiled_mod.np, "frombuffer", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            SharedDesignPack(compiled)
+        assert _shm_entries() == before
+
+    def test_failing_stage_does_not_leak_segments(self):
+        """A worker raising mid-batch must not leak the shipped segments."""
+        import repro.flow.presets as presets_mod
+
+        class _BoomStage:
+            name = "boom"
+
+            def run(self, ctx):
+                raise RuntimeError("injected stage failure")
+
+        class _BoomConfig:
+            seed = 0  # the batch runner always overrides the seed field
+
+        presets_mod.register_preset(
+            presets_mod.FlowPreset(
+                name="__boom__",
+                description="failing stage (lifecycle test)",
+                config_factory=_BoomConfig,
+                stage_factory=lambda config: [_BoomStage()],
+            )
+        )
+        try:
+            before = _shm_entries()
+            jobs = [
+                BatchJob(design="sb_mini_18", preset="__boom__", scale=0.2),
+                BatchJob(design="sb_mini_4", preset="__boom__", scale=0.2),
+            ]
+            report = run_batch(jobs, max_workers=2, executor="thread", ship="shared")
+            assert report.num_failed == 2
+            assert "injected stage failure" in report.items[0].error
+            assert _shm_entries() == before
+        finally:
+            del presets_mod._PRESETS["__boom__"]
+
+    def test_payload_build_failure_closes_earlier_packs(self):
+        """A benchmark failing to build mid-payload must close packs already
+        created for earlier jobs."""
+        before = _shm_entries()
+        jobs = [
+            BatchJob(design="sb_mini_18", preset="dreamplace", scale=0.2),
+            BatchJob(design="__no_such_design__"),
+        ]
+        with pytest.raises(Exception):
+            run_batch(jobs, max_workers=2, ship="shared")
+        assert _shm_entries() == before
+
+
+class TestCornerSpecsInSnapshot:
+    def test_corner_specs_survive_pickle_and_rebuild(self):
+        from repro.timing import resolve_corners
+
+        design = load_benchmark("sb_mini_18", scale=0.2)
+        design.corners = "fast,slow"
+        snapshot = pickle.loads(pickle.dumps(compile_design(design)))
+        expected = resolve_corners("fast,slow")
+        assert snapshot.corners == expected
+        rebuilt = snapshot.to_design()
+        assert rebuilt.corners == expected
+
+    def test_no_corners_stays_none(self):
+        design = load_benchmark("sb_mini_18", scale=0.2)
+        snapshot = compile_design(design)
+        assert snapshot.corners is None
+        assert snapshot.to_design().corners is None
+
+    def test_shared_handle_payload_carries_corners(self):
+        from repro.timing import resolve_corners
+
+        design = load_benchmark("sb_mini_18", scale=0.2)
+        design.corners = "fast,typ,slow"
+        with SharedDesignPack(compile_design(design)) as pack:
+            handle = pickle.loads(pickle.dumps(pack.handle))
+            loaded = handle.load()
+            try:
+                assert loaded.compiled.corners == resolve_corners("fast,typ,slow")
+                rebuilt = loaded.compiled.to_design()
+                assert rebuilt.corners == resolve_corners("fast,typ,slow")
+            finally:
+                loaded.close()

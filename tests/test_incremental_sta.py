@@ -147,6 +147,91 @@ class TestIncrementalParity:
         np.testing.assert_array_equal(first.arrival, arrival_before)
 
 
+class TestCacheReseeding:
+    """Every cache must be reseeded by a full update or a constraints swap."""
+
+    def test_constraints_swap_matches_fresh_engine(self, fresh_small_design):
+        """Flipping constraints mid-session must be bitwise identical to a
+        fresh engine built with the new constraints (tolerance 0)."""
+        from repro.timing import TimingConstraints
+
+        design = fresh_small_design
+        engine = STAEngine(design, incremental=True, move_tolerance=0.0)
+        rng = np.random.default_rng(11)
+        x, y = design.positions()
+        x, y = x.copy(), y.copy()
+        engine.update_timing(x, y)
+        _perturb(design, rng, x, y)
+        engine.update_timing(x, y)
+
+        tightened = TimingConstraints.from_design(design)
+        tightened.clock_period = tightened.clock_period * 0.6
+        engine.constraints = tightened  # property routes through set_constraints
+
+        # Next update must be a full pass (stale arrival/required dropped) …
+        r_swapped = engine.update_timing(x, y)
+        assert engine.last_update_stats.mode == "full"
+        # … and bitwise identical to an engine that never saw the old mode.
+        fresh = STAEngine(design, tightened, incremental=True, move_tolerance=0.0)
+        r_fresh = fresh.update_timing(x, y)
+        _assert_results_equal(r_fresh, r_swapped, atol=0.0)
+
+        # Incremental updates after the swap stay exact too.
+        for _ in range(3):
+            _perturb(design, rng, x, y)
+            r_swapped = engine.update_timing(x, y)
+            r_fresh = fresh.update_timing(x, y)
+            _assert_results_equal(r_fresh, r_swapped, atol=0.0)
+
+    def test_constraints_swap_via_setter_equals_method(self, fresh_small_design):
+        from repro.timing import TimingConstraints
+
+        design = fresh_small_design
+        a = STAEngine(design)
+        b = STAEngine(design)
+        new = TimingConstraints.from_design(design)
+        new.clock_period *= 0.5
+        a.constraints = new
+        b.set_constraints(new)
+        ra = a.update_timing()
+        rb = b.update_timing()
+        _assert_results_equal(ra, rb, atol=0.0)
+        assert a.constraints is new
+
+    def test_full_update_reseeds_reference_positions(self, fresh_small_design):
+        """update_timing(incremental=False) must reseed the moved-cell
+        reference, so later incremental updates diff against the *new*
+        positions, not the ones from before the full pass."""
+        design = fresh_small_design
+        engine = STAEngine(design, incremental=True)
+        x, y = design.positions()
+        x, y = x.copy(), y.copy()
+        engine.update_timing(x, y)
+        x[design.arrays.movable_index[:5]] += 9.0
+        engine.update_timing(x, y, incremental=False)
+        assert engine.last_update_stats.mode == "full"
+        # No motion since the full pass: the incremental diff must be empty.
+        engine.update_timing(x, y)
+        assert engine.last_update_stats.mode == "incremental"
+        assert engine.last_update_stats.num_moved_instances == 0
+
+    def test_swap_then_incremental_flag_does_not_resurrect_stale_caches(
+        self, fresh_small_design
+    ):
+        """After a swap, even an explicit incremental=True call must fall
+        back to a full pass rather than re-propagating from empty caches."""
+        from repro.timing import TimingConstraints
+
+        design = fresh_small_design
+        engine = STAEngine(design, incremental=True)
+        engine.update_timing()
+        new = TimingConstraints.from_design(design)
+        new.clock_period *= 0.7
+        engine.set_constraints(new)
+        engine.update_timing(incremental=True)
+        assert engine.last_update_stats.mode == "full"
+
+
 class TestSTAResultMemoization:
     def test_failing_endpoints_worst_slack_first(self, fresh_small_design):
         result = STAEngine(fresh_small_design).update_timing()
