@@ -10,15 +10,21 @@ Measures, for a few sb_mini designs:
 * multi-corner (MCMM) STA wall time for 1/2/4 corners — engine construction
   plus the first full update, i.e. what a flow pays to stand the analysis
   up — and the resulting 4-corner/single-corner ratio (the graph build and
-  wire geometry are shared across corners, so the target is < 2.5x).
+  wire geometry are shared across corners, so the target is < 2.5x);
+* RUDY congestion map build time (the routability subsystem's inner-loop
+  cost: one full demand/capacity/pin-density estimate) — O(nets + bins),
+  gated at < 50ms on every suite design.
 
 Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
 successive PRs can track the numbers.
 
 ``--check`` additionally compares the freshly measured numbers against the
 recorded baseline JSON and exits non-zero when single-corner STA regresses
-more than ``--check-tolerance`` (default 10%) or the 4-corner ratio exceeds
-``--max-mcmm-ratio`` (default 2.5) — the CI perf gate.
+more than ``--check-tolerance`` (default 10%), the 4-corner ratio exceeds
+``--max-mcmm-ratio`` (default 2.5), or the congestion map build exceeds
+``--max-congestion-ms`` (default 50ms) — the CI perf gate.  ``--fresh-out``
+writes the freshly measured rows to a separate JSON even in check mode (CI
+uploads it as a workflow artifact for the perf trajectory).
 
 Usage::
 
@@ -39,11 +45,12 @@ import numpy as np
 
 from repro.benchgen.suite import load_benchmark
 from repro.netlist.compiled import compile_design
+from repro.route.rudy import CongestionEstimator
 from repro.timing.mcmm import MultiCornerSTA
 from repro.timing.constraints import Corner
 from repro.timing.sta import STAEngine
 
-DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10"]
+DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10", "sb_cong_1"]
 MCMM_CORNER_COUNTS = (1, 2, 4)
 
 
@@ -106,6 +113,15 @@ def bench_design(name: str) -> dict:
         seconds, _ = _time(mcmm_wall, repeat=7)
         mcmm_ms[count] = round(seconds * 1e3, 3)
 
+    # Congestion map build: estimator construction (grid + net filter, paid
+    # once per design) and one full RUDY/pin-density estimate (paid every
+    # inflation round / evaluation) on a spread-out placement.
+    congestion_setup_seconds, estimator = _time(lambda: CongestionEstimator(design))
+    from repro.placement.initial import initial_placement
+
+    cx, cy = initial_placement(design, seed=0)
+    congestion_map_seconds, _ = _time(lambda: estimator.estimate(cx, cy), repeat=15)
+
     return {
         "design": name,
         "num_instances": design.num_instances,
@@ -126,18 +142,26 @@ def bench_design(name: str) -> dict:
         "mcmm_4c_over_1c": round(
             mcmm_ms[4] / max(single_wall_seconds * 1e3, 1e-9), 3
         ),
+        "congestion_setup_ms": round(congestion_setup_seconds * 1e3, 3),
+        "congestion_map_ms": round(congestion_map_seconds * 1e3, 3),
     }
 
 
 def check_against_baseline(
-    rows, baseline_path: Path, *, tolerance: float, max_mcmm_ratio: float
+    rows,
+    baseline_path: Path,
+    *,
+    tolerance: float,
+    max_mcmm_ratio: float,
+    max_congestion_ms: float,
 ) -> int:
     """Perf gate: compare fresh numbers against the recorded baseline.
 
     Fails (returns 1) when single-corner full STA is more than ``tolerance``
-    slower than the recorded ``sta_full_ms`` for the same design, or when
+    slower than the recorded ``sta_full_ms`` for the same design, when
     the (hardware-independent) 4-corner/1-corner wall ratio exceeds
-    ``max_mcmm_ratio``.
+    ``max_mcmm_ratio``, or when a congestion map build exceeds
+    ``max_congestion_ms`` (the routability subsystem's O(nets) budget).
     """
     baseline_rows = {}
     if not baseline_path.exists():
@@ -166,6 +190,12 @@ def check_against_baseline(
                 f"{name}: 4-corner MCMM wall is {ratio:.2f}x single-corner "
                 f"(limit {max_mcmm_ratio:.2f}x)"
             )
+        congestion_ms = float(row.get("congestion_map_ms", 0.0))
+        if congestion_ms > max_congestion_ms:
+            failures.append(
+                f"{name}: congestion map build {congestion_ms:.3f}ms exceeds "
+                f"the {max_congestion_ms:.0f}ms budget"
+            )
         baseline = baseline_rows.get(name)
         if baseline is None or "sta_full_ms" not in baseline:
             continue
@@ -178,13 +208,22 @@ def check_against_baseline(
                 f"{name}: single-corner STA {measured_ms:.3f}ms vs recorded "
                 f"{recorded_ms:.3f}ms (> {tolerance:.0%} regression)"
             )
+        if "congestion_map_ms" in baseline:
+            recorded_cong = float(baseline["congestion_map_ms"])
+            if congestion_ms > recorded_cong * (1.0 + tolerance) + 0.5:
+                failures.append(
+                    f"{name}: congestion map build {congestion_ms:.3f}ms vs "
+                    f"recorded {recorded_cong:.3f}ms (> {tolerance:.0%} "
+                    "regression)"
+                )
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}")
         return 1
     print(
         f"check OK: single-corner STA within {tolerance:.0%} of baseline, "
-        f"4-corner MCMM under {max_mcmm_ratio:.2f}x"
+        f"4-corner MCMM under {max_mcmm_ratio:.2f}x, congestion map under "
+        f"{max_congestion_ms:.0f}ms"
     )
     return 0
 
@@ -220,31 +259,49 @@ def main(argv=None) -> int:
         default=2.5,
         help="maximum allowed 4-corner/1-corner wall-time ratio (default 2.5)",
     )
+    parser.add_argument(
+        "--max-congestion-ms",
+        type=float,
+        default=50.0,
+        help="maximum allowed congestion map build time in ms (default 50)",
+    )
+    parser.add_argument(
+        "--fresh-out",
+        default=None,
+        help="also write the freshly measured rows to this JSON path "
+        "(useful with --check, which never touches the recorded baseline)",
+    )
     args = parser.parse_args(argv)
 
     rows = [bench_design(name) for name in args.designs.split(",") if name]
     out = Path(args.out)
+    payload = {
+        "benchmark": "design core / CompiledDesign / STA micro-benchmark",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "designs": rows,
+    }
     if args.check:
         status = check_against_baseline(
             rows,
             out,
             tolerance=args.check_tolerance,
             max_mcmm_ratio=args.max_mcmm_ratio,
+            max_congestion_ms=args.max_congestion_ms,
         )
     else:
         status = 0
-        payload = {
-            "benchmark": "design core / CompiledDesign / STA micro-benchmark",
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "designs": rows,
-        }
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    if args.fresh_out:
+        fresh = Path(args.fresh_out)
+        fresh.parent.mkdir(parents=True, exist_ok=True)
+        fresh.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     header = (
         f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "
-        f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6}"
+        f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6} "
+        f"{'rudy map':>9}"
     )
     print(header)
     for row in rows:
@@ -255,7 +312,7 @@ def main(argv=None) -> int:
             f"{row['snapshot_pickle_ms']:>7.2f}m {row['snapshot_rebuild_ms']:>7.1f}m "
             f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
             f"{row['sta_incremental_1pct_ms']:>8.2f}m {mcmm_text:>19}m "
-            f"{row['mcmm_4c_over_1c']:>5.2f}x"
+            f"{row['mcmm_4c_over_1c']:>5.2f}x {row['congestion_map_ms']:>8.2f}m"
         )
     if not args.check:
         print(f"wrote {out}")

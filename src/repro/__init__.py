@@ -12,6 +12,8 @@ the subpackages for the full API:
   style comparison flows.
 * :mod:`repro.benchgen` — synthetic ICCAD-2015-like benchmark generation.
 * :mod:`repro.evaluation` — shared HPWL/TNS/WNS scoring.
+* :mod:`repro.route` — routability: RUDY congestion estimation and the
+  congestion-driven cell-inflation repair loop.
 * :mod:`repro.flow` — the composable flow pipeline (stages, presets,
   concurrent batch runner, and the ``repro`` CLI).
 """
@@ -40,6 +42,14 @@ from repro.flow import (
 )
 from repro.netlist import CompiledDesign, Design, DesignCore, Library, compile_design, make_generic_library
 from repro.placement import GlobalPlacer, PlacementConfig, AbacusLegalizer
+from repro.route import (
+    CongestionConfig,
+    CongestionEstimator,
+    CongestionResult,
+    InflationConfig,
+    estimate_congestion,
+    run_inflation_loop,
+)
 from repro.timing import STAEngine, TimingConstraints, report_timing, report_timing_endpoint
 
 __version__ = "1.1.0"
@@ -76,6 +86,12 @@ __all__ = [
     "GlobalPlacer",
     "PlacementConfig",
     "AbacusLegalizer",
+    "CongestionConfig",
+    "CongestionEstimator",
+    "CongestionResult",
+    "InflationConfig",
+    "estimate_congestion",
+    "run_inflation_loop",
     "STAEngine",
     "TimingConstraints",
     "report_timing",

@@ -11,13 +11,24 @@ fan-out distributions.
 """
 
 from repro.benchgen.synthetic import CircuitSpec, generate_circuit
-from repro.benchgen.suite import SB_MINI_SUITE, load_benchmark, load_compiled, benchmark_names
+from repro.benchgen.suite import (
+    CONGESTION_SUITE,
+    SB_MINI_SUITE,
+    available_design_names,
+    benchmark_names,
+    congestion_benchmark_names,
+    load_benchmark,
+    load_compiled,
+)
 
 __all__ = [
     "CircuitSpec",
     "generate_circuit",
+    "CONGESTION_SUITE",
     "SB_MINI_SUITE",
+    "available_design_names",
+    "benchmark_names",
+    "congestion_benchmark_names",
     "load_benchmark",
     "load_compiled",
-    "benchmark_names",
 ]

@@ -14,6 +14,19 @@ flip-flop data pins and primary outputs.  Key structural knobs:
 * ``clock_tightness`` — clock period as a fraction of the estimated critical
   path delay; values below 1 guarantee failing endpoints for the timers.
 
+Routability stress knobs (all default-off, leaving the classic designs
+bit-identical):
+
+* ``aspect_ratio`` — die width over height.  A wide, thin die narrows the
+  vertical routing channel, so left-right traffic concentrates;
+* ``hub_fraction`` / ``hub_count`` — each gate input connects, with
+  probability ``hub_fraction``, to one of ``hub_count`` shared "hub"
+  signals instead of its level-based driver.  Hubs become high-fan-out
+  nets whose sinks are scattered across the whole logic cloud: the placer
+  cannot localize them, so their bounding boxes cross the die and pile
+  routing demand onto the center bins — the classic congestion pattern
+  routability-driven placement papers stress.
+
 The same seed always yields the same design, so experiments are reproducible.
 """
 
@@ -58,6 +71,10 @@ class CircuitSpec:
     clock_tightness: float = 0.85
     io_delay_fraction: float = 0.05
     seed: int = 1
+    # Routability stress (defaults leave the classic designs bit-identical).
+    aspect_ratio: float = 1.0
+    hub_fraction: float = 0.0
+    hub_count: int = 16
 
     def __post_init__(self) -> None:
         if self.num_cells < 10:
@@ -70,6 +87,12 @@ class CircuitSpec:
             raise ValueError("utilization must be in (0.05, 0.95]")
         if self.clock_tightness <= 0:
             raise ValueError("clock_tightness must be positive")
+        if self.aspect_ratio <= 0:
+            raise ValueError("aspect_ratio must be positive")
+        if not 0.0 <= self.hub_fraction < 1.0:
+            raise ValueError("hub_fraction must be in [0, 1)")
+        if self.hub_count < 1:
+            raise ValueError("hub_count must be at least 1")
 
 
 def generate_circuit(
@@ -97,8 +120,11 @@ def generate_circuit(
     )
     row_height = lib.cell("DFF_X1").height
     die_side = math.sqrt(total_area / spec.utilization)
-    die_height = math.ceil(die_side / row_height) * row_height
-    die_width = math.ceil(die_side)
+    # aspect_ratio stretches width and shrinks height at constant area;
+    # sqrt(1.0) == 1.0 keeps the classic designs bit-identical.
+    aspect = math.sqrt(spec.aspect_ratio)
+    die_height = math.ceil(die_side / aspect / row_height) * row_height
+    die_width = math.ceil(die_side * aspect)
     design = Design(
         spec.name,
         die=(0.0, 0.0, float(die_width), float(die_height)),
@@ -175,6 +201,15 @@ def generate_circuit(
     driver_levels_arr = np.array(driver_levels, dtype=np.int64)
     fanout_counts = np.zeros(len(driver_nets), dtype=np.float64)
 
+    # Hub signals for the congestion-stressed variant: a fixed set of
+    # level-0 drivers (PIs and register outputs, evenly sampled) that gate
+    # inputs across every level share with probability ``hub_fraction``.
+    hub_pool: Optional[np.ndarray] = None
+    if spec.hub_fraction > 0.0:
+        num_level0 = len(driver_nets)
+        count = min(spec.hub_count, num_level0)
+        hub_pool = np.unique(np.linspace(0, num_level0 - 1, count).astype(np.int64))
+
     input_pins_by_cell: Dict[str, List[str]] = {}
     for gate_name, _ in _GATE_CHOICES:
         cell = lib.cell(gate_name)
@@ -195,6 +230,17 @@ def generate_circuit(
             len(inputs),
             spec.fanout_alpha,
         )
+        if hub_pool is not None:
+            # Reroute a fraction of the inputs to shared hub signals; the
+            # extra RNG draws happen only on this (stress) path, so the
+            # classic designs keep their exact generation stream.
+            take_hub = rng.random(len(chosen)) < spec.hub_fraction
+            if np.any(take_hub):
+                hubs = iter(rng.choice(hub_pool, size=int(take_hub.sum())))
+                chosen = [
+                    int(next(hubs)) if is_hub else driver
+                    for driver, is_hub in zip(chosen, take_hub)
+                ]
         for pin_name, driver_idx in zip(inputs, chosen):
             design.connect(driver_nets[driver_idx], gate, pin_name)
             fanout_counts[driver_idx] += 1.0

@@ -12,7 +12,7 @@ segment), which is what minimizes the Elmore-dominated path delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -34,6 +34,9 @@ class PathOptimizationResult:
     path_length_after: float
     positions: Tuple[np.ndarray, np.ndarray]
     iterations: int
+    # (iteration, path slack) samples recorded during the descent when the
+    # optimizer was asked to track the trajectory (``track_slack_every``).
+    slack_history: List[Tuple[int, float]] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -41,16 +44,41 @@ class PathOptimizationResult:
 
 
 class SinglePathOptimizer:
-    """Optimize the cells of one timing path under a pin-pair distance loss."""
+    """Optimize the cells of one timing path under a pin-pair distance loss.
 
-    def __init__(self, design: Design, engine: Optional[STAEngine] = None) -> None:
+    The study's STA queries move only the handful of instances on one path,
+    which is exactly the incremental engine's best case: with
+    ``incremental=True`` (the default) every ``update_timing`` after the
+    first seeds from the cached annotations and re-propagates only the dirty
+    frontier.  ``move_tolerance`` stays 0, so the results are bitwise
+    identical to the full recompute (see the parity test).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        engine: Optional[STAEngine] = None,
+        *,
+        incremental: bool = True,
+    ) -> None:
         self.design = design
         self.engine = engine if engine is not None else STAEngine(design)
+        self.incremental = bool(incremental)
+
+    def _update_timing(self, x=None, y=None):
+        """STA update routed through the incremental path when enabled.
+
+        The per-call override works on any engine: a full pass (which seeds
+        the incremental caches) runs automatically the first time.
+        """
+        if self.incremental:
+            return self.engine.update_timing(x, y, incremental=True)
+        return self.engine.update_timing(x, y)
 
     # ------------------------------------------------------------------
     def worst_path(self) -> TimingPath:
         """The single most critical path of the current placement."""
-        self.engine.update_timing()
+        self._update_timing()
         paths, _ = report_timing(self.engine, 1)
         if not paths:
             raise RuntimeError("Design has no constrained timing paths")
@@ -86,6 +114,7 @@ class SinglePathOptimizer:
         max_iterations: int = 300,
         step_fraction: float = 0.02,
         tolerance: float = 1e-4,
+        track_slack_every: int = 0,
     ) -> PathOptimizationResult:
         """Optimize the movable cells on ``path`` under ``loss`` until convergence.
 
@@ -93,6 +122,11 @@ class SinglePathOptimizer:
         belong to fixed instances (ports) or flip-flops outside the path stay
         put, mirroring the paper's per-path visualization.  Gradient descent
         with a die-relative step size and simple halving on non-decrease.
+
+        ``track_slack_every=N`` additionally samples the path's slack every
+        ``N`` gradient iterations (an STA update per sample — affordable
+        because only the path's instances are dirty, so the incremental
+        engine re-propagates a tiny frontier).
         """
         loss_obj = loss if isinstance(loss, PairLoss) else make_loss(loss)
         design = self.design
@@ -102,7 +136,7 @@ class SinglePathOptimizer:
         x, y = design.positions()
         x = x.copy()
         y = y.copy()
-        before = self.engine.update_timing(x, y)
+        before = self._update_timing(x, y)
         slack_before = self._path_slack(path, before)
         length_before = self.path_wirelength(path, x, y)
 
@@ -142,6 +176,7 @@ class SinglePathOptimizer:
         step = step_fraction * max(die.width, die.height)
         previous_value = np.inf
         iterations_used = 0
+        slack_history: List[Tuple[int, float]] = []
         for iteration in range(1, max_iterations + 1):
             iterations_used = iteration
             px = x[arrays.pin_instance] + arrays.pin_offset_x
@@ -165,17 +200,21 @@ class SinglePathOptimizer:
             x[movable] = np.clip(x[movable], die.xl, die.xh - arrays.inst_width[movable])
             y[movable] = np.clip(y[movable], die.yl, die.yh - arrays.inst_height[movable])
 
+            if track_slack_every > 0 and iteration % track_slack_every == 0:
+                sampled = self._update_timing(x, y)
+                slack_history.append((iteration, self._path_slack(path, sampled)))
+
             if value > previous_value - tolerance:
                 step *= 0.7
                 if step < 1e-3:
                     break
             previous_value = value
 
-        after = self.engine.update_timing(x, y)
+        after = self._update_timing(x, y)
         slack_after = self._path_slack(path, after)
         length_after = self.path_wirelength(path, x, y)
         # Restore the engine's cached timing to the design's stored placement.
-        self.engine.update_timing()
+        self._update_timing()
         return PathOptimizationResult(
             loss_name=loss_obj.name,
             slack_before=slack_before,
@@ -184,6 +223,7 @@ class SinglePathOptimizer:
             path_length_after=length_after,
             positions=(x, y),
             iterations=iterations_used,
+            slack_history=slack_history,
         )
 
     def compare_losses(

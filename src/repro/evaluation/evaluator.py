@@ -21,6 +21,7 @@ import numpy as np
 from repro.netlist.core import as_core
 from repro.netlist.design import Design
 from repro.placement.wirelength import total_hpwl
+from repro.route.rudy import CongestionConfig, CongestionEstimator
 from repro.timing.constraints import TimingConstraints
 from repro.timing.mcmm import CornersSpec, MultiCornerResult, MultiCornerSTA
 from repro.timing.sta import STAEngine
@@ -43,6 +44,12 @@ class EvaluationReport:
     overlap_area: float
     out_of_die_cells: int
     per_corner: Optional[Dict[str, Dict[str, float]]] = field(default=None)
+    # Routability metrics (populated when the evaluation was built with a
+    # congestion model; None otherwise so timing-only reports are unchanged).
+    congestion_peak_overflow: Optional[float] = field(default=None)
+    congestion_avg_overflow: Optional[float] = field(default=None)
+    congestion_hotspots: Optional[int] = field(default=None)
+    congestion_weighted: Optional[float] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -57,6 +64,11 @@ class EvaluationReport:
         }
         if self.per_corner is not None:
             out["per_corner"] = self.per_corner
+        if self.congestion_peak_overflow is not None:
+            out["congestion_peak_overflow"] = self.congestion_peak_overflow
+            out["congestion_avg_overflow"] = self.congestion_avg_overflow
+            out["congestion_hotspots"] = self.congestion_hotspots
+            out["congestion_weighted"] = self.congestion_weighted
         return out
 
 
@@ -69,6 +81,7 @@ class Evaluator:
         constraints: Optional[TimingConstraints] = None,
         *,
         corners: CornersSpec = None,
+        congestion: Optional[CongestionConfig] = None,
     ) -> None:
         self.design = design
         self.constraints = (
@@ -80,13 +93,28 @@ class Evaluator:
             )
         else:
             self._engine = STAEngine(design, self.constraints)
+        # Congestion scoring is opt-in so timing-only evaluations stay
+        # byte-for-byte identical (and pay nothing for the estimator).  The
+        # estimator itself is built lazily: callers that hand a precomputed
+        # CongestionResult to evaluate() never pay for one.
+        self._congestion_config = congestion
+        self._congestion: Optional[CongestionEstimator] = None
 
     def evaluate(
         self,
         x: Optional[np.ndarray] = None,
         y: Optional[np.ndarray] = None,
+        *,
+        congestion_result=None,
     ) -> EvaluationReport:
-        """Evaluate positions ``(x, y)`` (design's stored positions if omitted)."""
+        """Evaluate positions ``(x, y)`` (design's stored positions if omitted).
+
+        ``congestion_result`` injects an already-built
+        :class:`~repro.route.rudy.CongestionResult` for the *same*
+        positions (flows that just ran a congestion stage reuse it instead
+        of rebuilding the maps); otherwise the maps are estimated here when
+        the evaluator was configured with a congestion model.
+        """
         design = self.design
         if x is None or y is None:
             x, y = design.positions()
@@ -101,7 +129,7 @@ class Evaluator:
         )
         overlap = _row_overlap_area(core, x, y)
         outside = _out_of_die_count(core, x, y)
-        return EvaluationReport(
+        report = EvaluationReport(
             design_name=design.name,
             hpwl=hpwl,
             tns=result.tns,
@@ -112,6 +140,19 @@ class Evaluator:
             out_of_die_cells=outside,
             per_corner=per_corner,
         )
+        congestion = congestion_result
+        if congestion is None and self._congestion_config is not None:
+            if self._congestion is None:
+                self._congestion = CongestionEstimator(
+                    design, self._congestion_config
+                )
+            congestion = self._congestion.estimate(x, y)
+        if congestion is not None:
+            report.congestion_peak_overflow = congestion.peak_overflow
+            report.congestion_avg_overflow = congestion.average_overflow
+            report.congestion_hotspots = congestion.num_hotspots
+            report.congestion_weighted = congestion.weighted_congestion()
+        return report
 
     @property
     def engine(self) -> "STAEngine | MultiCornerSTA":
@@ -126,9 +167,12 @@ def evaluate_placement(
     *,
     constraints: Optional[TimingConstraints] = None,
     corners: CornersSpec = None,
+    congestion: Optional[CongestionConfig] = None,
 ) -> EvaluationReport:
     """One-shot convenience wrapper around :class:`Evaluator`."""
-    return Evaluator(design, constraints, corners=corners).evaluate(x, y)
+    return Evaluator(
+        design, constraints, corners=corners, congestion=congestion
+    ).evaluate(x, y)
 
 
 def _row_overlap_area(design, x: np.ndarray, y: np.ndarray) -> float:

@@ -1,17 +1,21 @@
 """The ``repro`` command-line interface.
 
-Four subcommands over the flow pipeline:
+Five subcommands over the flow pipeline:
 
 * ``repro run DESIGN``      — run one preset on one benchmark
   (``--profile`` writes a per-stage runtime breakdown JSON next to the
-  result);
+  result; ``--routability`` adds the congestion-driven inflation loop and
+  congestion metrics to any preset);
 * ``repro batch D1 D2 ...`` — run many designs concurrently (``--all`` for
   the whole sb_mini suite, ``--seeds N`` for seed replicates,
   ``--ship compiled|shared`` to build each design once and ship array
   snapshots to the workers);
 * ``repro compare DESIGN``  — run every preset on one design, side by side;
 * ``repro sweep DESIGN --param loss --values quadratic,linear`` — sweep one
-  config field of a preset.
+  config field of a preset;
+* ``repro congestion DESIGN`` — run a preset and report the RUDY / pin
+  density congestion of the resulting placement (peak/average overflow,
+  ACE scores, top hotspot bins).
 
 Config fields are overridden with repeated ``--set key=value`` flags (values
 are parsed as int/float/bool when they look like one).  Every subcommand
@@ -23,9 +27,11 @@ machine-readable JSON with ``--json PATH``.
 Examples::
 
     repro run sb_mini_18 --preset efficient_tdp --set max_iterations=300
+    repro run sb_cong_1 --preset routability
     repro batch --all --preset dreamplace4 --jobs 4 --json batch.json
     repro compare sb_mini_1 --scale 0.5
     repro sweep sb_mini_4 --param w0 --values 5,10,20
+    repro congestion sb_cong_1 --preset dreamplace --routability
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ import json
 import sys
 from typing import Any, Dict, Optional, Sequence
 
-from repro.benchgen.suite import benchmark_names
+from repro.benchgen.suite import available_design_names, benchmark_names
 from repro.flow.batch import SHIP_MODES, BatchJob, run_batch
 from repro.flow.presets import preset_names
 
@@ -82,12 +88,12 @@ def _apply_corners(args: argparse.Namespace, overrides: Dict[str, Any]) -> Dict[
 
 
 def _check_designs(names: Sequence[str]) -> None:
-    known = set(benchmark_names())
+    known = set(available_design_names())
     unknown = [name for name in names if name not in known]
     if unknown:
         raise SystemExit(
             f"unknown benchmark(s) {', '.join(unknown)}; "
-            f"available: {', '.join(benchmark_names())}"
+            f"available: {', '.join(available_design_names())}"
         )
 
 
@@ -142,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write a per-stage runtime breakdown JSON next to the result",
     )
+    run_p.add_argument(
+        "--routability",
+        action="store_true",
+        help="add the congestion-driven inflation loop and congestion "
+        "metrics to the chosen preset",
+    )
     _add_common(run_p)
 
     batch_p = sub.add_parser("batch", help="run many designs concurrently")
@@ -183,12 +195,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--jobs", type=int, default=4, help="worker count (default 4)")
     _add_common(sweep_p)
+
+    cong_p = sub.add_parser(
+        "congestion",
+        help="run a preset and report routing congestion of the placement",
+    )
+    cong_p.add_argument("design", help="benchmark name")
+    cong_p.add_argument(
+        "--routability",
+        action="store_true",
+        help="also run the congestion-driven inflation loop before reporting",
+    )
+    cong_p.add_argument(
+        "--top", type=int, default=10, help="number of hotspot bins to list"
+    )
+    _add_common(cong_p)
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.benchgen.suite import load_benchmark
     from repro.flow.presets import build_flow
+    from repro.flow.runner import FlowRunner
 
     _check_designs([args.design])
     overrides = _apply_corners(args, _parse_overrides(args.overrides))
@@ -198,6 +226,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runner = build_flow(args.preset, **overrides)
     except AttributeError as exc:
         raise SystemExit(f"repro run: {exc}") from exc
+    if getattr(args, "routability", False) and args.preset != "routability":
+        from repro.route.flow import add_routability
+
+        try:
+            runner = FlowRunner(add_routability(runner.stages), name=runner.name)
+        except ValueError as exc:
+            raise SystemExit(f"repro run: {exc}") from exc
     result = runner.run(design, seed=int(overrides["seed"]))
     summary = result.summary()
     width = max(len(key) for key in summary)
@@ -357,11 +392,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.num_failed == 0 else 1
 
 
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    from repro.benchgen.suite import load_benchmark
+    from repro.flow.presets import build_flow
+    from repro.flow.runner import FlowRunner
+    from repro.flow.stages import CongestionStage, EvaluateStage
+    from repro.route.flow import add_routability
+
+    _check_designs([args.design])
+    overrides = _apply_corners(args, _parse_overrides(args.overrides))
+    overrides.setdefault("seed", args.seed)
+    design = load_benchmark(args.design, scale=args.scale)
+    try:
+        runner = build_flow(args.preset, **overrides)
+    except AttributeError as exc:
+        raise SystemExit(f"repro congestion: {exc}") from exc
+    stages = list(runner.stages)
+    if args.routability and args.preset != "routability":
+        try:
+            stages = add_routability(stages)
+        except ValueError as exc:
+            raise SystemExit(f"repro congestion: {exc}") from exc
+    if not any(isinstance(stage, CongestionStage) for stage in stages):
+        stages.append(CongestionStage())
+        for stage in stages:
+            if isinstance(stage, EvaluateStage):
+                stage.congestion = True
+    runner = FlowRunner(stages, name=runner.name)
+    result = runner.run(design, seed=int(overrides["seed"]))
+
+    congestion = dict(result.context.metadata.get("congestion", {}))
+    congestion.pop("hotspots", None)
+    # Recompute hotspots from the full map so --top is not capped by the
+    # stage's default top-k.
+    hotspots = (
+        result.context.congestion.hotspots(max(args.top, 0))
+        if result.context.congestion is not None
+        else []
+    )
+    summary = result.summary()
+    payload = {"run": summary, "congestion": congestion, "hotspots": hotspots}
+    width = max(len(key) for key in congestion) if congestion else 1
+    print(f"design: {args.design}  preset: {args.preset}")
+    for key, value in congestion.items():
+        print(f"{key:<{width}}  {value}")
+    if hotspots:
+        print(f"\ntop {len(hotspots)} hotspot bins (worst first):")
+        print(f"{'bin':>9} {'x':>9} {'y':>9} {'ratio':>8} {'overflow':>9} {'pins':>6}")
+        for spot in hotspots:
+            print(
+                f"({spot['bin_x']:>3},{spot['bin_y']:>3}) {spot['x']:>9.1f} "
+                f"{spot['y']:>9.1f} {spot['ratio']:>8.3f} "
+                f"{spot['overflow']:>9.3f} {spot['pins']:>6d}"
+            )
+    _emit_json(payload, args.json_path)
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "batch": _cmd_batch,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "congestion": _cmd_congestion,
 }
 
 

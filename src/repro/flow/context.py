@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
         PlacementHistory,
         PlacementResult,
     )
+    from repro.route.rudy import CongestionResult
     from repro.timing.report import PathExtractionStats
 
 # A hook applied to the GlobalPlacer right after construction, before the
@@ -57,6 +58,13 @@ class FlowContext:
     evaluation: Optional["EvaluationReport"] = None
     sta: Optional[Union[STAEngine, MultiCornerSTA]] = None
     sta_result: Optional[Union[STAResult, MultiCornerResult]] = None
+    # Routability: the most recent congestion estimate of the placement
+    # (published by the congestion / routability-repair stages), plus the
+    # exact position arrays it was estimated from — stages rebind rather
+    # than mutate position arrays, so an identity match on these means the
+    # estimate is still current and can be reused instead of rebuilt.
+    congestion: Optional["CongestionResult"] = None
+    congestion_xy: Optional[Tuple[np.ndarray, np.ndarray]] = None
     pin_pairs: Optional["PinPairSet"] = None
     extraction_stats: List["PathExtractionStats"] = field(default_factory=list)
     # Wiring between configuration stages and the placement stage.

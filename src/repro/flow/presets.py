@@ -1,12 +1,15 @@
 """Named flow presets: the paper's flow and its baselines as stage lists.
 
 A preset couples a default config object with a function that expands the
-config into stages.  The four shipped presets mirror the Table II methods:
+config into stages.  Four presets mirror the Table II methods, plus one for
+the routability workload:
 
 * ``efficient_tdp``       — the paper's flow (path extraction + pin pairs);
 * ``dreamplace``          — wirelength/density only;
 * ``dreamplace4``         — momentum net weighting (DREAMPlace 4.0 style);
-* ``differentiable_tdp``  — smoothed path-free pin attraction.
+* ``differentiable_tdp``  — smoothed path-free pin attraction;
+* ``routability``         — congestion-driven placement: RUDY congestion
+  maps feeding a cell-inflation repair loop.
 
 ``build_flow("efficient_tdp", max_iterations=300, seed=7)`` returns a ready
 :class:`FlowRunner`; unknown override keys raise immediately, which is what
@@ -196,6 +199,39 @@ def _dreamplace4_stages(config: Any) -> List[FlowStage]:
     ]
 
 
+def _routability_config() -> Any:
+    from repro.route.flow import RoutabilityConfig
+
+    return RoutabilityConfig()
+
+
+def _routability_stages(config: Any) -> List[FlowStage]:
+    from repro.flow.stages import (
+        CongestionStage,
+        EvaluateStage,
+        GlobalPlaceStage,
+        LegalizeStage,
+        RoutabilityRepairStage,
+    )
+
+    placement_config = config.placement_config()
+    stages: List[FlowStage] = [GlobalPlaceStage(placement_config)]
+    if config.inflate:
+        stages.append(
+            RoutabilityRepairStage(
+                congestion=config.congestion,
+                inflation=config.inflation_config(),
+                refine_iterations=config.refine_iterations,
+                placement_config=placement_config,
+            )
+        )
+    if config.legalize:
+        stages.append(LegalizeStage())
+    stages.append(CongestionStage(config=config.congestion))
+    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion))
+    return stages
+
+
 def _differentiable_tdp_config() -> Any:
     from repro.baselines.differentiable_tdp import DifferentiableTDPConfig
 
@@ -258,5 +294,16 @@ register_preset(
         description="Differentiable-TDP-style smoothed pin attraction",
         config_factory=_differentiable_tdp_config,
         stage_factory=_differentiable_tdp_stages,
+    )
+)
+register_preset(
+    FlowPreset(
+        name="routability",
+        description=(
+            "Routability-driven placement: RUDY congestion maps feeding a "
+            "congestion-driven cell-inflation loop"
+        ),
+        config_factory=_routability_config,
+        stage_factory=_routability_stages,
     )
 )

@@ -75,6 +75,10 @@ class FlowResult:
             if ev.per_corner is not None:
                 out["corners"] = list(ev.per_corner)
                 out["per_corner"] = ev.per_corner
+            if ev.congestion_peak_overflow is not None:
+                out["congestion_peak_overflow"] = ev.congestion_peak_overflow
+                out["congestion_avg_overflow"] = ev.congestion_avg_overflow
+                out["congestion_hotspots"] = ev.congestion_hotspots
         if self.context.placement is not None:
             out["iterations"] = self.context.placement.iterations
             out["converged"] = self.context.placement.converged
@@ -82,6 +86,11 @@ class FlowResult:
             out["pin_pairs"] = len(self.context.pin_pairs)
         if "legalization" in self.context.metadata:
             out["legalizer"] = self.context.metadata["legalization"]["engine"]
+        if "routability_repair" in self.context.metadata:
+            repair = self.context.metadata["routability_repair"]
+            out["inflation_rounds"] = len(repair["rounds"]) - 1
+            out["congestion_initial_peak"] = repair["initial_peak_overflow"]
+            out["congestion_final_peak"] = repair["final_peak_overflow"]
         return out
 
 

@@ -34,6 +34,8 @@ from repro.flow.stage import register_stage
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.placement.legalization.abacus import AbacusLegalizer
 from repro.placement.legalization.greedy import GreedyLegalizer
+from repro.route.inflation import InflationConfig, run_inflation_loop
+from repro.route.rudy import CongestionConfig, CongestionEstimator
 from repro.timing.mcmm import CornersSpec, MultiCornerResult, MultiCornerSTA, resolve_corners
 from repro.timing.sta import STAResult
 from repro.utils.logging import get_logger
@@ -472,26 +474,169 @@ class LegalizeStage:
         }
 
 
+@register_stage("congestion")
+class CongestionStage:
+    """Estimate routing congestion (RUDY + pin density) of the placement.
+
+    Publishes the :class:`~repro.route.rudy.CongestionResult` on
+    ``ctx.congestion`` and a flat summary (peak/average overflow, hotspot
+    count, ACE scores, top-k hotspots) in ``ctx.metadata["congestion"]``.
+    Pure observation: positions are never modified.
+    """
+
+    name = "congestion"
+
+    def __init__(self, config: "CongestionConfig | None" = None) -> None:
+        self.config = config
+
+    def run(self, ctx: FlowContext) -> None:
+        with ctx.profiler.section("congestion"):
+            estimator = CongestionEstimator(ctx.design, self.config)
+            x, y = ctx.positions()
+            result = estimator.estimate(x, y)
+            ctx.congestion = result
+            ctx.congestion_xy = (x, y)
+            summary = result.summary()
+            summary["hotspots"] = result.hotspots(estimator.config.top_k_hotspots)
+            ctx.metadata["congestion"] = summary
+
+
+@register_stage("routability_repair")
+class RoutabilityRepairStage:
+    """Congestion-driven cell-inflation loop (routability repair).
+
+    Re-runs global placement with inflated cell areas until the RUDY peak
+    overflow converges (see :mod:`repro.route.inflation`).  Must run after a
+    global-placement stage and before legalization; the refine placements
+    warm-start from the current positions with the placement stage's config
+    (fewer iterations).  When the starting placement is already under the
+    overflow target this stage is a no-op.
+    """
+
+    name = "routability_repair"
+
+    def __init__(
+        self,
+        *,
+        congestion: "CongestionConfig | None" = None,
+        inflation: "InflationConfig | None" = None,
+        refine_iterations: int = 150,
+        refine_density_init_ratio: float = 1.0,
+        placement_config: Optional[PlacementConfig] = None,
+    ) -> None:
+        self.congestion = congestion
+        self.inflation = inflation if inflation is not None else InflationConfig()
+        self.refine_iterations = int(refine_iterations)
+        self.refine_density_init_ratio = float(refine_density_init_ratio)
+        self.placement_config = placement_config
+
+    def _refine_config(self, ctx: FlowContext) -> PlacementConfig:
+        import copy
+
+        base = self.placement_config
+        if base is None and ctx.placer is not None:
+            base = ctx.placer.config
+        config = copy.deepcopy(base) if base is not None else PlacementConfig()
+        config.max_iterations = self.refine_iterations
+        # Warm starts begin spread out; a long mandatory tail would only
+        # undo the wirelength the first placement earned.
+        config.min_iterations = min(config.min_iterations, 20)
+        # The first placement already spread the design, so the refine run
+        # must keep the density force strong from its first iteration: with
+        # the cold-start ratio (1e-3) wirelength would re-cluster the cells
+        # long before the growth schedule catches up, and the warm start
+        # would end *worse* than it began.
+        config.density_weight_init_ratio = self.refine_density_init_ratio
+        return config
+
+    def run(self, ctx: FlowContext) -> None:
+        if ctx.placement is None and ctx.x is None:
+            raise ValueError(
+                "routability_repair must come after global_place: the "
+                "inflation loop refines an existing placement"
+            )
+        design = ctx.design
+        estimator = CongestionEstimator(design, self.congestion)
+        refine_config = self._refine_config(ctx)
+
+        def place_fn(x0: np.ndarray, y0: np.ndarray, area_scale: np.ndarray):
+            placer = GlobalPlacer(design, refine_config, profiler=ctx.profiler)
+            placer.density.set_area_scale(area_scale)
+            for hook in ctx.placer_hooks:
+                hook(placer, ctx)
+            result = placer.run(x0, y0)
+            return result.x, result.y
+
+        x, y = ctx.positions()
+        with ctx.profiler.section("routability"):
+            outcome = run_inflation_loop(
+                design,
+                place_fn,
+                x,
+                y,
+                estimator=estimator,
+                config=self.inflation,
+            )
+        ctx.x, ctx.y = outcome.x, outcome.y
+        design.set_positions(outcome.x, outcome.y)
+        ctx.congestion = outcome.result
+        ctx.congestion_xy = (outcome.x, outcome.y)
+        ctx.metadata["routability_repair"] = outcome.as_dict()
+        if len(outcome.rounds) > 1:
+            logger.info(
+                "routability repair: peak overflow %.4f -> %.4f in %d rounds",
+                outcome.initial_peak_overflow,
+                outcome.final_peak_overflow,
+                len(outcome.rounds) - 1,
+            )
+
+
 @register_stage("evaluate")
 class EvaluateStage:
     """Score the placement with the shared evaluator (HPWL/TNS/WNS/legality).
 
     With corners configured (on the stage or the context) the evaluation
     reports merged TNS/WNS as the headline metrics plus a per-corner
-    breakdown.
+    breakdown.  With ``congestion`` set (``True`` for the default model or a
+    :class:`~repro.route.rudy.CongestionConfig`), RUDY congestion metrics
+    (peak/average overflow, hotspot count) are reported alongside.
     """
 
     name = "evaluate"
 
-    def __init__(self, *, corners: CornersSpec = None) -> None:
+    def __init__(
+        self,
+        *,
+        corners: CornersSpec = None,
+        congestion: "bool | CongestionConfig" = False,
+    ) -> None:
         self.corners = corners
+        self.congestion = congestion
 
     def run(self, ctx: FlowContext) -> None:
         with ctx.profiler.section("io"):
             corners = ctx.corners
             if corners is None and self.corners is not None:
                 corners = resolve_corners(self.corners)
+            congestion = self.congestion
+            if congestion is True:
+                congestion = CongestionConfig()
+            elif congestion is False:
+                congestion = None
             x, y = ctx.positions()
+            # Reuse the congestion stage's maps when they were estimated at
+            # exactly these position arrays (stages rebind, never mutate, so
+            # identity implies currency); otherwise the evaluator builds its
+            # own estimate.
+            precomputed = None
+            if (
+                congestion is not None
+                and ctx.congestion is not None
+                and ctx.congestion_xy is not None
+                and ctx.congestion_xy[0] is x
+                and ctx.congestion_xy[1] is y
+            ):
+                precomputed = ctx.congestion
             ctx.evaluation = Evaluator(
-                ctx.design, ctx.constraints, corners=corners
-            ).evaluate(x, y)
+                ctx.design, ctx.constraints, corners=corners, congestion=congestion
+            ).evaluate(x, y, congestion_result=precomputed)

@@ -28,6 +28,17 @@ from scipy import fft as spfft
 from repro.netlist.core import as_core
 
 
+def auto_bin_count(num_movable: int) -> int:
+    """Power-of-two grid size targeting ~4 movable cells per bin, in [16, 256].
+
+    Shared by the density model and the congestion estimator so their grids
+    stay in correspondence: cells that crowd one density bin are the same
+    cells whose nets crowd the matching congestion bins.
+    """
+    cells = max(int(num_movable), 1)
+    return int(2 ** np.clip(np.round(np.log2(np.sqrt(cells / 4.0))), 4, 8))
+
+
 @dataclass
 class DensityResult:
     """Energy, gradient, and overflow of one density evaluation."""
@@ -55,8 +66,7 @@ class ElectrostaticDensity:
         die = arrays.die
         num_movable = int(arrays.movable_mask.sum())
         if num_bins_x is None or num_bins_y is None:
-            # Roughly 4 movable cells per bin, power-of-two grid in [16, 256].
-            bins = int(2 ** np.clip(np.round(np.log2(np.sqrt(max(num_movable, 1) / 4.0))), 4, 8))
+            bins = auto_bin_count(num_movable)
             num_bins_x = num_bins_x or bins
             num_bins_y = num_bins_y or bins
         self.num_bins_x = int(num_bins_x)
@@ -81,6 +91,32 @@ class ElectrostaticDensity:
         denom[0, 0] = 1.0  # DC term handled separately (set to zero)
         self._inv_denom = 1.0 / denom
         self._inv_denom[0, 0] = 0.0
+
+    def set_area_scale(self, scale: Optional[np.ndarray]) -> None:
+        """Inflate the cell areas the density model sees (routability repair).
+
+        ``scale`` is a per-instance multiplier (indexed like ``core.x``;
+        only movable entries matter); ``None`` restores the physical areas.
+        Footprints grow isotropically — widths and heights scale by
+        ``sqrt(scale)`` — which is how congestion-driven inflation trades
+        whitespace for routing headroom without touching the real netlist
+        geometry (legalization and evaluation still use physical sizes).
+        """
+        arrays = self.core
+        if scale is None:
+            factor = np.ones(self._movable.size, dtype=np.float64)
+        else:
+            scale = np.asarray(scale, dtype=np.float64)
+            if scale.shape != (arrays.num_instances,):
+                raise ValueError("area scale must have one entry per instance")
+            if np.any(scale <= 0.0):
+                raise ValueError("area scale factors must be positive")
+            factor = scale[self._movable]
+        self._area = arrays.inst_area[self._movable] * factor
+        side = np.sqrt(factor)
+        self._half_w = arrays.inst_width[self._movable] * 0.5 * side
+        self._half_h = arrays.inst_height[self._movable] * 0.5 * side
+        self._total_movable_area = float(self._area.sum())
 
     # ------------------------------------------------------------------
     def _splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -1,0 +1,37 @@
+"""Routability subsystem: congestion estimation and congestion-driven repair.
+
+* :mod:`repro.route.rudy` — vectorized RUDY / pin-density congestion maps
+  over the design core arrays, with per-layer capacity from the floorplan
+  and ACE-style congestion scores;
+* :mod:`repro.route.inflation` — congestion-driven cell inflation: hot
+  cells grow (as seen by the density model), placement re-runs, overflow
+  converges;
+* :mod:`repro.route.flow` — the ``routability`` flow preset configuration
+  and helpers to retrofit congestion awareness onto any existing preset.
+"""
+
+from repro.route.inflation import (
+    CellInflation,
+    InflationConfig,
+    InflationOutcome,
+    InflationRound,
+    run_inflation_loop,
+)
+from repro.route.rudy import (
+    CongestionConfig,
+    CongestionEstimator,
+    CongestionResult,
+    estimate_congestion,
+)
+
+__all__ = [
+    "CellInflation",
+    "CongestionConfig",
+    "CongestionEstimator",
+    "CongestionResult",
+    "InflationConfig",
+    "InflationOutcome",
+    "InflationRound",
+    "estimate_congestion",
+    "run_inflation_loop",
+]

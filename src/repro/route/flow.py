@@ -1,0 +1,141 @@
+"""The ``routability`` flow preset configuration and retrofit helpers.
+
+The preset composes the existing pipeline stages with the routability
+subsystem::
+
+    global_place -> routability_repair -> legalize -> congestion -> evaluate
+
+:func:`add_routability` retrofits the same behavior onto any already-built
+stage list (this is what the CLI's ``--routability`` flag does): a
+:class:`~repro.flow.stages.RoutabilityRepairStage` is inserted right after
+the last global-placement stage, a congestion-map stage is added after
+legalization, and the evaluation stage is switched to report congestion
+metrics alongside HPWL/TNS/WNS.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.placement.global_placer import PlacementConfig
+from repro.route.inflation import InflationConfig
+from repro.route.rudy import CongestionConfig
+
+__all__ = ["RoutabilityConfig", "add_routability"]
+
+
+@dataclass
+class RoutabilityConfig:
+    """Configuration of the ``routability`` preset.
+
+    Placement knobs mirror :class:`PlacementConfig`; the congestion and
+    inflation knobs are grouped in their own sub-configs so ``--set`` style
+    overrides address the flat, flow-level fields.
+    """
+
+    # Placement engine schedule.
+    max_iterations: int = 450
+    stop_overflow: float = 0.08
+    target_density: float = 1.0
+    seed: int = 0
+    verbose: bool = False
+    # Inflation loop.  The flat fields exist so ``--set`` style overrides can
+    # address the common knobs; ``None`` means "defer to self.inflation",
+    # so an explicitly provided InflationConfig is honored in full.
+    inflate: bool = True
+    inflation_rounds: Optional[int] = None
+    overflow_target: Optional[float] = None
+    max_hpwl_growth: Optional[float] = None
+    refine_iterations: int = 150
+    # Congestion model.
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
+    inflation: InflationConfig = field(default_factory=InflationConfig)
+    # MCMM analysis corners for the evaluation stage (None = single corner).
+    corners: Optional[object] = None
+    # Post-processing.
+    legalize: bool = True
+
+    def placement_config(self) -> PlacementConfig:
+        return PlacementConfig(
+            max_iterations=self.max_iterations,
+            stop_overflow=self.stop_overflow,
+            target_density=self.target_density,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+
+    def inflation_config(self) -> InflationConfig:
+        """The sub-config with any flat-field overrides applied on top."""
+        overrides = {
+            key: value
+            for key, value in (
+                ("max_rounds", self.inflation_rounds),
+                ("overflow_target", self.overflow_target),
+                ("max_hpwl_growth", self.max_hpwl_growth),
+            )
+            if value is not None
+        }
+        cfg = dataclasses.replace(self.inflation, **overrides)
+        cfg.validate()
+        return cfg
+
+
+def add_routability(
+    stages: List[object],
+    *,
+    congestion: Optional[CongestionConfig] = None,
+    inflation: Optional[InflationConfig] = None,
+    refine_iterations: int = 150,
+) -> List[object]:
+    """Retrofit congestion awareness onto an existing stage list.
+
+    Returns a new stage list: a routability-repair stage is inserted after
+    the last global-placement stage (raises if the flow has none), a
+    congestion-report stage is appended after legalization (or after repair
+    when the flow does not legalize), and any evaluation stage is switched
+    to congestion reporting.
+    """
+    from repro.flow.stages import (
+        CongestionStage,
+        EvaluateStage,
+        GlobalPlaceStage,
+        LegalizeStage,
+        RoutabilityRepairStage,
+    )
+
+    place_positions = [
+        i for i, stage in enumerate(stages) if isinstance(stage, GlobalPlaceStage)
+    ]
+    if not place_positions:
+        raise ValueError(
+            "--routability requires a flow with a global_place stage "
+            "(the inflation loop re-runs global placement)"
+        )
+    repair = RoutabilityRepairStage(
+        congestion=congestion,
+        inflation=inflation,
+        refine_iterations=refine_iterations,
+    )
+    out: List[object] = list(stages)
+    out.insert(place_positions[-1] + 1, repair)
+
+    legalize_positions = [
+        i for i, stage in enumerate(out) if isinstance(stage, LegalizeStage)
+    ]
+    report_at = (
+        legalize_positions[-1] + 1
+        if legalize_positions
+        else out.index(repair) + 1
+    )
+    out.insert(report_at, CongestionStage(config=congestion))
+    # Switch evaluation to congestion reporting on *copies*: the caller's
+    # original stage list must keep scoring exactly as before.
+    for index, stage in enumerate(out):
+        if isinstance(stage, EvaluateStage):
+            scored = copy.copy(stage)
+            scored.congestion = congestion if congestion is not None else True
+            out[index] = scored
+    return out

@@ -1,0 +1,292 @@
+"""Congestion-driven cell inflation (routability repair).
+
+The classic routability-driven placement move (used by RePlAce, DREAMPlace,
+and the NTUplace line): cells sitting in congested bins are virtually
+*inflated* — their area, as seen by the density model, is scaled up — and
+global placement is re-run.  The density force then spreads the hot region,
+trading a little wirelength for routing headroom.  The loop is::
+
+    place -> estimate congestion -> inflate hot cells -> re-place -> ...
+
+until the peak overflow drops below target, stops improving, or the
+wirelength budget is exhausted.  Inflation factors grow multiplicatively
+with clamped per-round steps and decay back toward 1 where congestion has
+cleared, so repeated rounds converge instead of ratcheting every cell up.
+
+:class:`CellInflation` owns the per-instance factors; :func:`run_inflation_
+loop` drives the iteration against any placement callback, which keeps this
+module independent of the placement engine (the flow stage supplies a
+callback that re-runs :class:`~repro.placement.global_placer.GlobalPlacer`
+with the inflated areas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.core import as_core
+from repro.route.rudy import CongestionEstimator, CongestionResult
+from repro.utils.logging import get_logger
+
+logger = get_logger("route.inflation")
+
+__all__ = [
+    "InflationConfig",
+    "CellInflation",
+    "InflationRound",
+    "InflationOutcome",
+    "run_inflation_loop",
+]
+
+# A placement callback: (x0, y0, area_scale) -> final (x, y).  The scale is
+# per-instance (1.0 = no inflation) and only meaningful for movable cells.
+PlaceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class InflationConfig:
+    """Knobs of the congestion-driven inflation loop."""
+
+    # Loop control.
+    max_rounds: int = 3
+    overflow_target: float = 0.05     # stop once peak overflow is below this
+    min_improvement: float = 0.01     # stop when a round improves less than this
+    # HPWL budget on the *raw* (pre-legalization) wirelength.  Legalization
+    # typically refunds most of it on congested designs — the inflated
+    # placement spreads better, so it legalizes with less displacement —
+    # which is why the raw budget is looser than a final-HPWL budget.
+    max_hpwl_growth: float = 0.04     # reject rounds costing more wirelength
+    # Per-cell factor dynamics.
+    gamma: float = 1.0                # inflation = ratio ** gamma in hot bins
+    max_step: float = 1.6             # per-round growth clamp
+    max_total: float = 2.5            # accumulated growth clamp
+    decay: float = 0.85               # relaxation toward 1 in cool bins
+
+    def validate(self) -> None:
+        if self.max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        if self.max_step < 1.0:
+            # A cap below 1 would clip every hot cell's growth to <1 and the
+            # [1, max_total] clamp would then silently erase it — rounds
+            # would re-run placement with zero inflation applied.
+            raise ValueError("max_step must be at least 1")
+        if self.max_total < 1.0:
+            raise ValueError("max_total must be at least 1")
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        if self.max_hpwl_growth < 0.0:
+            raise ValueError("max_hpwl_growth must be non-negative")
+
+
+class CellInflation:
+    """Per-instance area inflation factors driven by a congestion map."""
+
+    def __init__(self, design, config: Optional[InflationConfig] = None) -> None:
+        self.core = as_core(design)
+        self.config = config if config is not None else InflationConfig()
+        self.config.validate()
+        self.scale = np.ones(self.core.num_instances, dtype=np.float64)
+
+    def reset(self) -> None:
+        self.scale[:] = 1.0
+
+    @property
+    def num_inflated(self) -> int:
+        return int(np.count_nonzero(self.scale > 1.0 + 1e-12))
+
+    @property
+    def inflated_area_ratio(self) -> float:
+        """Total inflated movable area over the original movable area."""
+        movable = self.core.movable_index
+        area = self.core.inst_area[movable]
+        total = float(area.sum())
+        if total <= 0:
+            return 1.0
+        return float((area * self.scale[movable]).sum()) / total
+
+    def update(
+        self,
+        estimator: CongestionEstimator,
+        result: CongestionResult,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> int:
+        """Grow factors of cells in overflowing bins, decay the rest.
+
+        Returns the number of instances whose factor grew this round.
+        """
+        cfg = self.config
+        bx, by = estimator.cell_bins(x, y)
+        ratio = result.ratio[bx, by]
+        movable = self.core.movable_mask
+        hot = movable & (ratio > 1.0)
+
+        grown = np.clip(ratio[hot] ** cfg.gamma, 1.0, cfg.max_step)
+        self.scale[hot] *= grown
+        cool = movable & ~hot
+        # Decay multiplicatively toward 1 so factors release once the
+        # congestion that caused them has dissolved.
+        self.scale[cool] = 1.0 + (self.scale[cool] - 1.0) * cfg.decay
+        np.clip(self.scale, 1.0, cfg.max_total, out=self.scale)
+        self.scale[~movable] = 1.0
+        return int(np.count_nonzero(hot))
+
+
+@dataclass
+class InflationRound:
+    """Diagnostics of one estimate→inflate→place round."""
+
+    round: int
+    peak_overflow: float
+    average_overflow: float
+    hotspot_bins: int
+    hpwl: float
+    num_inflated: int
+    inflated_area_ratio: float
+    accepted: bool = True
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "round": self.round,
+            "peak_overflow": round(self.peak_overflow, 6),
+            "average_overflow": round(self.average_overflow, 6),
+            "hotspot_bins": self.hotspot_bins,
+            "hpwl": round(self.hpwl, 3),
+            "num_inflated": self.num_inflated,
+            "inflated_area_ratio": round(self.inflated_area_ratio, 4),
+            "accepted": self.accepted,
+        }
+
+
+@dataclass
+class InflationOutcome:
+    """Final state of one inflation loop."""
+
+    x: np.ndarray
+    y: np.ndarray
+    result: CongestionResult
+    rounds: List[InflationRound] = field(default_factory=list)
+    converged: bool = False
+    accepted_round: int = 0
+
+    @property
+    def initial_peak_overflow(self) -> float:
+        return self.rounds[0].peak_overflow if self.rounds else 0.0
+
+    @property
+    def final_peak_overflow(self) -> float:
+        return self.result.peak_overflow
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rounds": [r.as_dict() for r in self.rounds],
+            "converged": self.converged,
+            "accepted_round": self.accepted_round,
+            "initial_peak_overflow": round(self.initial_peak_overflow, 6),
+            "final_peak_overflow": round(self.final_peak_overflow, 6),
+        }
+
+
+def run_inflation_loop(
+    design,
+    place_fn: PlaceFn,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    *,
+    estimator: Optional[CongestionEstimator] = None,
+    config: Optional[InflationConfig] = None,
+) -> InflationOutcome:
+    """Iterate place → estimate → inflate until overflow converges.
+
+    ``place_fn(x, y, area_scale)`` re-runs global placement warm-started at
+    ``(x, y)`` with the density model seeing ``area * area_scale`` per
+    instance, and returns the new positions.  The loop keeps the best
+    placement seen: lowest peak overflow among rounds whose HPWL stays
+    within ``config.max_hpwl_growth`` of the starting placement (the
+    starting placement itself is always admissible, so a fruitless loop
+    degrades nothing).
+    """
+    core = as_core(design)
+    config = config if config is not None else InflationConfig()
+    config.validate()
+    estimator = estimator if estimator is not None else CongestionEstimator(core)
+    inflation = CellInflation(core, config)
+
+    x = np.asarray(x0, dtype=np.float64).copy()
+    y = np.asarray(y0, dtype=np.float64).copy()
+    result = estimator.estimate(x, y)
+    base_hpwl = core.total_hpwl(x, y)
+    hpwl_budget = base_hpwl * (1.0 + config.max_hpwl_growth)
+
+    rounds = [
+        InflationRound(
+            round=0,
+            peak_overflow=result.peak_overflow,
+            average_overflow=result.average_overflow,
+            hotspot_bins=result.num_hotspots,
+            hpwl=base_hpwl,
+            num_inflated=0,
+            inflated_area_ratio=1.0,
+        )
+    ]
+    best = (x, y, result)
+    best_peak = result.peak_overflow
+    accepted_round = 0
+    converged = best_peak <= config.overflow_target
+
+    for round_index in range(1, config.max_rounds + 1):
+        if converged:
+            break
+        num_inflated = inflation.update(estimator, result, x, y)
+        if num_inflated == 0:
+            break
+        x, y = place_fn(x, y, inflation.scale)
+        result = estimator.estimate(x, y)
+        hpwl = core.total_hpwl(x, y)
+        within_budget = hpwl <= hpwl_budget
+        improved = result.peak_overflow < best_peak - config.min_improvement
+        accepted = within_budget and result.peak_overflow < best_peak
+        rounds.append(
+            InflationRound(
+                round=round_index,
+                peak_overflow=result.peak_overflow,
+                average_overflow=result.average_overflow,
+                hotspot_bins=result.num_hotspots,
+                hpwl=hpwl,
+                num_inflated=num_inflated,
+                inflated_area_ratio=inflation.inflated_area_ratio,
+                accepted=accepted,
+            )
+        )
+        if accepted:
+            best = (x, y, result)
+            best_peak = result.peak_overflow
+            accepted_round = round_index
+        logger.debug(
+            "inflation round %d: peak overflow %.4f (best %.4f), hpwl %.4g, "
+            "%d cells inflated",
+            round_index,
+            result.peak_overflow,
+            best_peak,
+            hpwl,
+            num_inflated,
+        )
+        if best_peak <= config.overflow_target:
+            converged = True
+        elif not improved and round_index >= 2:
+            # Two rounds without meaningful progress: the congestion left is
+            # structural (capacity, not placement) — stop burning runtime.
+            break
+
+    x, y, result = best
+    return InflationOutcome(
+        x=x,
+        y=y,
+        result=result,
+        rounds=rounds,
+        converged=converged or best_peak <= config.overflow_target,
+        accepted_round=accepted_round,
+    )

@@ -239,5 +239,53 @@ class TestCLICommands:
         presets = {item["preset"] for item in payload["items"]}
         assert presets == {
             "efficient_tdp", "dreamplace", "dreamplace4", "differentiable_tdp",
+            "routability",
         }
         assert payload["aggregate"]["failed"] == 0
+
+    def test_run_routability_flag(self, tmp_path):
+        out = tmp_path / "routed.json"
+        code = main([
+            "run", "sb_cong_1", "--preset", "dreamplace", "--scale", "0.4",
+            "--set", "max_iterations=80", "--routability", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "congestion_peak_overflow" in payload
+        assert "inflation_rounds" in payload
+
+    def test_congestion_command(self, tmp_path):
+        out = tmp_path / "congestion.json"
+        code = main([
+            "congestion", "sb_cong_1", "--preset", "dreamplace",
+            "--scale", "0.4", "--set", "max_iterations=80",
+            "--top", "3", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["congestion"]["peak_overflow"] >= 0.0
+        assert len(payload["hotspots"]) == 3
+        assert "congestion_peak_overflow" in payload["run"]
+
+    def test_congestion_command_top_beyond_stage_default(self, tmp_path):
+        """--top is served from the full map, not the stage's top-10 cache."""
+        out = tmp_path / "congestion_top.json"
+        code = main([
+            "congestion", "sb_cong_1", "--preset", "dreamplace",
+            "--scale", "0.4", "--set", "max_iterations=80",
+            "--top", "15", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["hotspots"]) == 15
+
+    def test_run_routability_preset_by_name(self, tmp_path):
+        out = tmp_path / "preset.json"
+        code = main([
+            "run", "sb_cong_1", "--preset", "routability", "--scale", "0.4",
+            "--set", "max_iterations=80", "--set", "refine_iterations=40",
+            "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "congestion_peak_overflow" in payload

@@ -29,7 +29,11 @@ FAST = dict(
 
 
 def _fast_overrides(preset):
-    return dict(FAST) if preset != "dreamplace" else {"max_iterations": 60}
+    if preset == "dreamplace":
+        return {"max_iterations": 60}
+    if preset == "routability":
+        return {"max_iterations": 60, "refine_iterations": 30}
+    return dict(FAST)
 
 
 class TestViewSemantics:

@@ -60,6 +60,7 @@ class TestPresets:
             "dreamplace",
             "dreamplace4",
             "differentiable_tdp",
+            "routability",
         }
 
     def test_preset_descriptions(self):

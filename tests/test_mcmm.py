@@ -366,7 +366,11 @@ _FAST = dict(
 
 
 def _fast_overrides(preset):
-    return dict(_FAST) if preset != "dreamplace" else {"max_iterations": 50}
+    if preset == "dreamplace":
+        return {"max_iterations": 50}
+    if preset == "routability":
+        return {"max_iterations": 50, "refine_iterations": 30}
+    return dict(_FAST)
 
 
 class TestFlowThreading:
