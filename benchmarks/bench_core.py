@@ -13,7 +13,12 @@ Measures, for a few sb_mini designs:
   wire geometry are shared across corners, so the target is < 2.5x);
 * RUDY congestion map build time (the routability subsystem's inner-loop
   cost: one full demand/capacity/pin-density estimate) — O(nets + bins),
-  gated at < 50ms on every suite design.
+  gated at < 50ms on every suite design;
+* congestion-weighted global-place overhead: wall time of a fixed-length
+  GP run with the in-loop congestion net weighting at the
+  ``routability-gp`` preset's default cadence versus the plain run — the
+  feedback subsystem's per-update cost folded into real placement
+  iterations, gated at <= 15% overhead.
 
 Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
 successive PRs can track the numbers.
@@ -44,7 +49,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.benchgen.suite import load_benchmark
+from repro.feedback import CongestionNetWeighting, FeedbackCadence
 from repro.netlist.compiled import compile_design
+from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.route.rudy import CongestionEstimator
 from repro.timing.mcmm import MultiCornerSTA
 from repro.timing.constraints import Corner
@@ -52,6 +59,11 @@ from repro.timing.sta import STAEngine
 
 DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10", "sb_cong_1"]
 MCMM_CORNER_COUNTS = (1, 2, 4)
+# Congestion-weighted GP overhead measurement: fixed-length runs (stop
+# criterion disabled so both configurations execute exactly GP_ITERATIONS
+# iterations) with the routability-gp preset's default weighting cadence.
+GP_ITERATIONS = 150
+GP_CADENCE = dict(start=100, interval=10)
 
 
 def _time(fn, repeat: int = 3):
@@ -122,6 +134,25 @@ def bench_design(name: str) -> dict:
     cx, cy = initial_placement(design, seed=0)
     congestion_map_seconds, _ = _time(lambda: estimator.estimate(cx, cy), repeat=15)
 
+    # Congestion-weighted GP overhead: identical fixed-length placements
+    # with and without the in-loop weighting feedback at default cadence.
+    def gp_run(weighted: bool) -> GlobalPlacer:
+        config = PlacementConfig(
+            max_iterations=GP_ITERATIONS, stop_overflow=0.0, seed=0
+        )
+        placer = GlobalPlacer(design, config)
+        if weighted:
+            placer.add_feedback(
+                CongestionNetWeighting(), FeedbackCadence(**GP_CADENCE)
+            )
+        placer.run()
+        return placer
+
+    gp_plain_seconds, _ = _time(lambda: gp_run(False), repeat=2)
+    gp_weighted_seconds, weighted_placer = _time(lambda: gp_run(True), repeat=2)
+    gp_updates = int(weighted_placer.feedback.calls.get("congestion", 0))
+    gp_update_seconds = weighted_placer.feedback.seconds.get("congestion", 0.0)
+
     return {
         "design": name,
         "num_instances": design.num_instances,
@@ -144,6 +175,20 @@ def bench_design(name: str) -> dict:
         ),
         "congestion_setup_ms": round(congestion_setup_seconds * 1e3, 3),
         "congestion_map_ms": round(congestion_map_seconds * 1e3, 3),
+        "gp_plain_ms": round(gp_plain_seconds * 1e3, 3),
+        "gp_congestion_weighted_ms": round(gp_weighted_seconds * 1e3, 3),
+        # Overhead is the *attributed* share: wall seconds the scheduler
+        # spent inside congestion-weighting updates over the weighted run's
+        # wall.  A whole-run wall difference would gate scheduler jitter
+        # (two ~0.5s runs differ by several percent under CI load); the
+        # per-feedback accounting measures exactly the cost being budgeted.
+        "gp_weighting_overhead": round(
+            gp_update_seconds / max(gp_weighted_seconds, 1e-9), 4
+        ),
+        "gp_weighting_updates": gp_updates,
+        "gp_weighting_update_ms": round(
+            1e3 * gp_update_seconds / max(gp_updates, 1), 3
+        ),
     }
 
 
@@ -154,14 +199,17 @@ def check_against_baseline(
     tolerance: float,
     max_mcmm_ratio: float,
     max_congestion_ms: float,
+    max_gp_overhead: float,
 ) -> int:
     """Perf gate: compare fresh numbers against the recorded baseline.
 
     Fails (returns 1) when single-corner full STA is more than ``tolerance``
     slower than the recorded ``sta_full_ms`` for the same design, when
     the (hardware-independent) 4-corner/1-corner wall ratio exceeds
-    ``max_mcmm_ratio``, or when a congestion map build exceeds
-    ``max_congestion_ms`` (the routability subsystem's O(nets) budget).
+    ``max_mcmm_ratio``, when a congestion map build exceeds
+    ``max_congestion_ms`` (the routability subsystem's O(nets) budget), or
+    when in-loop congestion weighting at default cadence costs more than
+    ``max_gp_overhead`` of the plain global-place wall time.
     """
     baseline_rows = {}
     if not baseline_path.exists():
@@ -196,6 +244,12 @@ def check_against_baseline(
                 f"{name}: congestion map build {congestion_ms:.3f}ms exceeds "
                 f"the {max_congestion_ms:.0f}ms budget"
             )
+        gp_overhead = float(row.get("gp_weighting_overhead", 0.0))
+        if gp_overhead > max_gp_overhead:
+            failures.append(
+                f"{name}: congestion-weighted GP overhead {gp_overhead:.1%} "
+                f"exceeds the {max_gp_overhead:.0%} budget"
+            )
         baseline = baseline_rows.get(name)
         if baseline is None or "sta_full_ms" not in baseline:
             continue
@@ -223,7 +277,8 @@ def check_against_baseline(
     print(
         f"check OK: single-corner STA within {tolerance:.0%} of baseline, "
         f"4-corner MCMM under {max_mcmm_ratio:.2f}x, congestion map under "
-        f"{max_congestion_ms:.0f}ms"
+        f"{max_congestion_ms:.0f}ms, weighted-GP overhead under "
+        f"{max_gp_overhead:.0%}"
     )
     return 0
 
@@ -266,6 +321,13 @@ def main(argv=None) -> int:
         help="maximum allowed congestion map build time in ms (default 50)",
     )
     parser.add_argument(
+        "--max-gp-overhead",
+        type=float,
+        default=0.15,
+        help="maximum allowed congestion-weighted GP wall overhead at the "
+        "default cadence (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
         "--fresh-out",
         default=None,
         help="also write the freshly measured rows to this JSON path "
@@ -288,6 +350,7 @@ def main(argv=None) -> int:
             tolerance=args.check_tolerance,
             max_mcmm_ratio=args.max_mcmm_ratio,
             max_congestion_ms=args.max_congestion_ms,
+            max_gp_overhead=args.max_gp_overhead,
         )
     else:
         status = 0
@@ -301,7 +364,7 @@ def main(argv=None) -> int:
     header = (
         f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "
         f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6} "
-        f"{'rudy map':>9}"
+        f"{'rudy map':>9} {'gp+cong':>8}"
     )
     print(header)
     for row in rows:
@@ -312,7 +375,8 @@ def main(argv=None) -> int:
             f"{row['snapshot_pickle_ms']:>7.2f}m {row['snapshot_rebuild_ms']:>7.1f}m "
             f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
             f"{row['sta_incremental_1pct_ms']:>8.2f}m {mcmm_text:>19}m "
-            f"{row['mcmm_4c_over_1c']:>5.2f}x {row['congestion_map_ms']:>8.2f}m"
+            f"{row['mcmm_4c_over_1c']:>5.2f}x {row['congestion_map_ms']:>8.2f}m "
+            f"{row['gp_weighting_overhead']:>7.1%}"
         )
     if not args.check:
         print(f"wrote {out}")

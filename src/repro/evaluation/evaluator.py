@@ -14,7 +14,7 @@ corner reproduces the single-corner numbers bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -50,6 +50,11 @@ class EvaluationReport:
     congestion_avg_overflow: Optional[float] = field(default=None)
     congestion_hotspots: Optional[int] = field(default=None)
     congestion_weighted: Optional[float] = field(default=None)
+    # In-loop feedback trajectory (populated by flows that ran scheduled
+    # placement feedbacks): one row per feedback update with the iteration,
+    # which feedbacks fired, and their WNS / peak-overflow / weight-norm
+    # metrics.  None for plain evaluations.
+    feedback_trajectory: Optional[List[Dict[str, Any]]] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -69,6 +74,8 @@ class EvaluationReport:
             out["congestion_avg_overflow"] = self.congestion_avg_overflow
             out["congestion_hotspots"] = self.congestion_hotspots
             out["congestion_weighted"] = self.congestion_weighted
+        if self.feedback_trajectory is not None:
+            out["feedback_trajectory"] = self.feedback_trajectory
         return out
 
 

@@ -1,0 +1,52 @@
+"""Unified placement-feedback architecture.
+
+Everything that periodically analyzes an in-progress placement and folds the
+result back into the optimization — timing criticality, routing congestion,
+and whatever comes next (density targets, IR drop, ECO deltas) — goes
+through one composition seam:
+
+* :class:`~repro.feedback.base.PlacementFeedback` — the component protocol
+  (``prepare`` / ``attach`` / ``update`` / ``finalize``);
+* :class:`~repro.feedback.base.FeedbackCadence` — warmup / every-K /
+  cooldown firing windows;
+* :class:`~repro.feedback.scheduler.FeedbackScheduler` — owned by the
+  global placer; dispatches slots on cadence, applies composed weights,
+  and keeps per-feedback runtime + trajectory accounting;
+* :class:`~repro.feedback.composer.WeightComposer` — merges several per-net
+  weight proposals (timing criticality x congestion penalty) with shared
+  momentum, clamping, and log-proportional normalization;
+* :class:`~repro.feedback.timing.TimingCriticalityWeighting` and
+  :class:`~repro.feedback.congestion.CongestionNetWeighting` — the two
+  shipped composable signals;
+* :class:`~repro.feedback.timing.StrategyFeedback` — adapter that runs the
+  legacy timing strategies through the scheduler bit-identically.
+
+Flow integration lives in :class:`repro.flow.stages.FeedbackWeightStage`
+and the ``routability-gp`` preset.
+"""
+
+from repro.feedback.base import FeedbackCadence, FeedbackUpdate, PlacementFeedback
+from repro.feedback.composer import WeightComposer, WeightComposerConfig
+from repro.feedback.congestion import CongestionNetWeighting
+from repro.feedback.scheduler import (
+    CallbackFeedback,
+    FeedbackScheduler,
+    FeedbackSlot,
+    feedback_record,
+)
+from repro.feedback.timing import StrategyFeedback, TimingCriticalityWeighting
+
+__all__ = [
+    "CallbackFeedback",
+    "CongestionNetWeighting",
+    "FeedbackCadence",
+    "FeedbackScheduler",
+    "FeedbackSlot",
+    "FeedbackUpdate",
+    "PlacementFeedback",
+    "StrategyFeedback",
+    "TimingCriticalityWeighting",
+    "WeightComposer",
+    "WeightComposerConfig",
+    "feedback_record",
+]

@@ -1,0 +1,145 @@
+"""Timing signals as placement-feedback components.
+
+Two shapes:
+
+* :class:`StrategyFeedback` adapts the existing
+  :class:`~repro.flow.stages.TimingStrategyBase` strategies (path
+  extraction + pin pairs, momentum net weighting, smoothed pin weighting,
+  record-only) to the feedback protocol **without changing their math**:
+  the strategy still runs STA, applies its own weight/pin-pair update, and
+  resets momentum exactly as it did behind the legacy raw callback — which
+  is what keeps the four pre-existing presets bit-identical.
+* :class:`TimingCriticalityWeighting` is the *composable* timing signal:
+  it proposes a per-net multiplier ``1 + max_boost * criticality`` (the
+  Eq. 5 criticality: each net's share of the worst negative slack) and
+  leaves momentum, clamping, and application to the shared
+  :class:`~repro.feedback.composer.WeightComposer`, so it can be merged
+  with congestion weighting (or any future signal) instead of owning the
+  weight vector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.feedback.base import FeedbackUpdate, PlacementFeedback
+from repro.timing.mcmm import MultiCornerResult
+from repro.weighting.net_weighting import net_worst_slack
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.placement.global_placer import GlobalPlacer
+
+__all__ = ["StrategyFeedback", "TimingCriticalityWeighting"]
+
+
+class StrategyFeedback(PlacementFeedback):
+    """A legacy timing strategy riding the feedback scheduler unchanged.
+
+    ``update`` delegates to the strategy's ``on_timing_iteration`` (which
+    applies its own weights/pairs and momentum reset) and reports the
+    resulting TNS/WNS as trajectory metrics; it never proposes weights to
+    the composer, because the strategy already applied them itself.
+    """
+
+    # The strategy handles its own momentum reset; the scheduler must not
+    # add a second one.
+    resets_momentum = False
+
+    def __init__(self, strategy: Any, ctx: Any, *, name: Optional[str] = None) -> None:
+        self.strategy = strategy
+        self.ctx = ctx
+        self.name = name if name is not None else type(strategy).__name__
+
+    def update(
+        self,
+        placer: "GlobalPlacer",
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> Optional[FeedbackUpdate]:
+        self.strategy.on_timing_iteration(placer, self.ctx, iteration, x, y)
+        result = self.ctx.sta_result
+        metrics = {}
+        if result is not None:
+            metrics = {"tns": float(result.tns), "wns": float(result.wns)}
+        return FeedbackUpdate(metrics=metrics)
+
+
+class TimingCriticalityWeighting(PlacementFeedback):
+    """Composable timing-criticality net-weight proposal (momentum-free).
+
+    Runs STA on the current positions, folds multi-corner results to their
+    pessimistic merge, and proposes ``1 + max_boost * criticality`` per net,
+    where criticality is the net's worst pin slack over the WNS (clipped to
+    ``[0, 1]``; nets with non-negative or unconstrained slack propose 1).
+    The shared composer applies momentum and clamping, so with this as the
+    only proposing feedback the composed weights follow exactly the
+    DREAMPlace-4.0-style momentum recurrence.
+    """
+
+    name = "timing"
+
+    def __init__(
+        self,
+        *,
+        max_boost: float = 0.75,
+        criticality_threshold: float = 0.0,
+        sta_incremental: bool = False,
+        sta_move_tolerance: float = 0.0,
+    ) -> None:
+        if max_boost < 0.0:
+            raise ValueError("max_boost must be non-negative")
+        if not 0.0 <= criticality_threshold < 1.0:
+            raise ValueError("criticality_threshold must be within [0, 1)")
+        self.max_boost = float(max_boost)
+        # Nets below the threshold propose exactly 1: composing timing with
+        # congestion is a fight over the same HPWL budget, and boosting the
+        # long tail of mildly-critical nets spends that budget without
+        # moving WNS.  0 keeps the full Eq. 5 criticality profile.
+        self.criticality_threshold = float(criticality_threshold)
+        self.sta_incremental = bool(sta_incremental)
+        self.sta_move_tolerance = float(sta_move_tolerance)
+        self.ctx: Any = None
+        self.sta = None
+
+    def prepare(self, ctx: Any) -> None:
+        self.ctx = ctx
+        with ctx.profiler.section("io"):
+            self.sta = ctx.require_sta(
+                incremental=self.sta_incremental,
+                move_tolerance=self.sta_move_tolerance,
+            )
+
+    def update(
+        self,
+        placer: "GlobalPlacer",
+        iteration: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> Optional[FeedbackUpdate]:
+        if self.sta is None:
+            raise RuntimeError(
+                "TimingCriticalityWeighting.update before prepare(): the "
+                "feedback needs the flow's shared STA engine"
+            )
+        ctx = self.ctx
+        with ctx.profiler.section("timing_analysis"):
+            result = self.sta.update_timing(x, y)
+        ctx.sta_result = result
+        merged = result.merged if isinstance(result, MultiCornerResult) else result
+        with ctx.profiler.section("weighting"):
+            worst = net_worst_slack(ctx.design, merged)
+            wns = min(merged.wns, -1e-12)
+            criticality = np.clip(worst / wns, 0.0, 1.0)
+            criticality[~np.isfinite(worst)] = 0.0
+            if self.criticality_threshold > 0.0:
+                criticality[criticality < self.criticality_threshold] = 0.0
+            proposal = 1.0 + self.max_boost * criticality
+        placer.history.record_extra("tns", iteration, result.tns)
+        placer.history.record_extra("wns", iteration, result.wns)
+        return FeedbackUpdate(
+            proposal=proposal,
+            metrics={"tns": float(result.tns), "wns": float(result.wns)},
+        )

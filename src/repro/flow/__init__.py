@@ -76,6 +76,7 @@ from repro.flow.runner import FlowResult, FlowRunner
 from repro.flow.stage import FlowStage, available_stages, create_stage, register_stage
 from repro.flow.stages import (
     EvaluateStage,
+    FeedbackWeightStage,
     GlobalPlaceStage,
     LegalizeStage,
     MomentumNetWeightStrategy,
@@ -105,6 +106,7 @@ __all__ = [
     "create_stage",
     "register_stage",
     "EvaluateStage",
+    "FeedbackWeightStage",
     "GlobalPlaceStage",
     "LegalizeStage",
     "TimingWeightStage",

@@ -98,10 +98,15 @@ def _check_designs(names: Sequence[str]) -> None:
 
 
 def _emit_json(payload: Any, path: Optional[str]) -> None:
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"wrote {path}")
+    """Write a JSON report to ``path`` (``-`` streams it to stdout)."""
+    if not path:
+        return
+    if path == "-":
+        print(json.dumps(payload, indent=2))
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {path}")
 
 
 def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None:
@@ -131,7 +136,12 @@ def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None
         metavar="KEY=VALUE",
         help="override a preset config field (repeatable)",
     )
-    parser.add_argument("--json", dest="json_path", help="write a JSON report here")
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write a JSON report here ('-' prints it to stdout)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -153,6 +163,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add the congestion-driven inflation loop and congestion "
         "metrics to the chosen preset",
+    )
+    run_p.add_argument(
+        "--congestion-weighting",
+        action="store_true",
+        help="add in-loop congestion net weighting to the chosen preset "
+        "(RUDY overflow under each net's bbox boosts its wirelength "
+        "weight during global placement)",
     )
     _add_common(run_p)
 
@@ -207,6 +224,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the congestion-driven inflation loop before reporting",
     )
     cong_p.add_argument(
+        "--congestion-weighting",
+        action="store_true",
+        help="also run in-loop congestion net weighting during placement",
+    )
+    cong_p.add_argument(
         "--top", type=int, default=10, help="number of hotspot bins to list"
     )
     _add_common(cong_p)
@@ -226,11 +248,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runner = build_flow(args.preset, **overrides)
     except AttributeError as exc:
         raise SystemExit(f"repro run: {exc}") from exc
-    if getattr(args, "routability", False) and args.preset != "routability":
+    from repro.flow.stages import FeedbackWeightStage, RoutabilityRepairStage
+
+    # Guard on what the flow already contains, not on preset names, so the
+    # flags are no-ops (instead of duplicating stages) on presets that ship
+    # the behavior — e.g. --routability on routability-gp.
+    if getattr(args, "routability", False) and not any(
+        isinstance(stage, RoutabilityRepairStage) for stage in runner.stages
+    ):
         from repro.route.flow import add_routability
 
         try:
             runner = FlowRunner(add_routability(runner.stages), name=runner.name)
+        except ValueError as exc:
+            raise SystemExit(f"repro run: {exc}") from exc
+    if getattr(args, "congestion_weighting", False) and not any(
+        isinstance(stage, FeedbackWeightStage) for stage in runner.stages
+    ):
+        from repro.route.flow import add_congestion_weighting
+
+        try:
+            runner = FlowRunner(
+                add_congestion_weighting(runner.stages), name=runner.name
+            )
         except ValueError as exc:
             raise SystemExit(f"repro run: {exc}") from exc
     result = runner.run(design, seed=int(overrides["seed"]))
@@ -247,11 +287,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _profile_path(args: argparse.Namespace) -> str:
     """Place the profile next to the result JSON (or name it after the run)."""
-    if args.json_path:
+    if args.json_path and args.json_path != "-":
         base = args.json_path
         if base.endswith(".json"):
             base = base[: -len(".json")]
         return base + ".profile.json"
+    # No file path to sit next to (no --json, or --json - streamed the
+    # report to stdout): name the profile after the run instead.
     return f"{args.design}_{args.preset}.profile.json"
 
 
@@ -259,7 +301,7 @@ def _profile_payload(
     args: argparse.Namespace, result, summary: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Per-stage wall-clock plus the profiler's component breakdown."""
-    return {
+    payload = {
         "design": args.design,
         "flow": summary.get("flow"),
         "seed": summary.get("seed"),
@@ -274,6 +316,21 @@ def _profile_payload(
             ).items()
         },
     }
+    feedback = result.context.metadata.get("feedback")
+    if feedback and feedback.get("calls"):
+        # Per-feedback breakdown: wall seconds and firings of every
+        # scheduled placement feedback (timing strategies, congestion
+        # weighting, raw callbacks), accumulated across the main placement
+        # and any refine placements.
+        payload["feedback"] = {
+            "seconds": {
+                name: round(seconds, 6)
+                for name, seconds in feedback["seconds"].items()
+            },
+            "calls": dict(feedback["calls"]),
+            "updates": len(feedback.get("trajectory", [])),
+        }
+    return payload
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -407,10 +464,23 @@ def _cmd_congestion(args: argparse.Namespace) -> int:
         runner = build_flow(args.preset, **overrides)
     except AttributeError as exc:
         raise SystemExit(f"repro congestion: {exc}") from exc
+    from repro.flow.stages import FeedbackWeightStage, RoutabilityRepairStage
+
     stages = list(runner.stages)
-    if args.routability and args.preset != "routability":
+    if args.routability and not any(
+        isinstance(stage, RoutabilityRepairStage) for stage in stages
+    ):
         try:
             stages = add_routability(stages)
+        except ValueError as exc:
+            raise SystemExit(f"repro congestion: {exc}") from exc
+    if args.congestion_weighting and not any(
+        isinstance(stage, FeedbackWeightStage) for stage in stages
+    ):
+        from repro.route.flow import add_congestion_weighting
+
+        try:
+            stages = add_congestion_weighting(stages)
         except ValueError as exc:
             raise SystemExit(f"repro congestion: {exc}") from exc
     if not any(isinstance(stage, CongestionStage) for stage in stages):

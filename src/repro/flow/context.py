@@ -115,6 +115,19 @@ class FlowContext:
             )
         return self.sta
 
+    def feedback_record(self) -> Dict[str, Any]:
+        """The run-wide feedback accounting record (created on first use).
+
+        One ``{"trajectory": [...], "seconds": {...}, "calls": {...}}`` dict
+        per flow run, shared by every placer the run constructs (the main
+        global place and any routability-repair refines), so per-update
+        trajectory rows and per-feedback runtimes accumulate in one place.
+        Lives in ``metadata["feedback"]`` for JSON-friendly reporting.
+        """
+        from repro.feedback.scheduler import feedback_record
+
+        return feedback_record(self)
+
     def positions(self) -> tuple[np.ndarray, np.ndarray]:
         """Current cell positions, falling back to the design's stored ones."""
         if self.x is None or self.y is None:

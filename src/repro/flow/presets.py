@@ -9,7 +9,10 @@ the routability workload:
 * ``dreamplace4``         — momentum net weighting (DREAMPlace 4.0 style);
 * ``differentiable_tdp``  — smoothed path-free pin attraction;
 * ``routability``         — congestion-driven placement: RUDY congestion
-  maps feeding a cell-inflation repair loop.
+  maps feeding a cell-inflation repair loop;
+* ``routability-gp``      — congestion + timing net weighting composed
+  *inside* the global-place loop (feedback scheduler + weight composer),
+  with the inflation loop as post-place cleanup.
 
 ``build_flow("efficient_tdp", max_iterations=300, seed=7)`` returns a ready
 :class:`FlowRunner`; unknown override keys raise immediately, which is what
@@ -232,6 +235,45 @@ def _routability_stages(config: Any) -> List[FlowStage]:
     return stages
 
 
+def _routability_gp_config() -> Any:
+    from repro.route.flow import RoutabilityGPConfig
+
+    return RoutabilityGPConfig()
+
+
+def _routability_gp_stages(config: Any) -> List[FlowStage]:
+    from repro.flow.stages import (
+        CongestionStage,
+        EvaluateStage,
+        FeedbackWeightStage,
+        GlobalPlaceStage,
+        LegalizeStage,
+        RoutabilityRepairStage,
+    )
+
+    placement_config = config.placement_config()
+    stages: List[FlowStage] = [
+        FeedbackWeightStage(
+            config.feedback_slots(), composer=config.composer_config()
+        ),
+        GlobalPlaceStage(placement_config),
+    ]
+    if config.inflate:
+        stages.append(
+            RoutabilityRepairStage(
+                congestion=config.congestion,
+                inflation=config.inflation_config(),
+                refine_iterations=config.refine_iterations,
+                placement_config=placement_config,
+            )
+        )
+    if config.legalize:
+        stages.append(LegalizeStage())
+    stages.append(CongestionStage(config=config.congestion))
+    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion))
+    return stages
+
+
 def _differentiable_tdp_config() -> Any:
     from repro.baselines.differentiable_tdp import DifferentiableTDPConfig
 
@@ -305,5 +347,17 @@ register_preset(
         ),
         config_factory=_routability_config,
         stage_factory=_routability_stages,
+    )
+)
+register_preset(
+    FlowPreset(
+        name="routability-gp",
+        description=(
+            "Routability-driven global placement: congestion + timing net "
+            "weighting composed inside the placement loop, inflation as "
+            "post-place cleanup"
+        ),
+        config_factory=_routability_gp_config,
+        stage_factory=_routability_gp_stages,
     )
 )

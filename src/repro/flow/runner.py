@@ -91,6 +91,9 @@ class FlowResult:
             out["inflation_rounds"] = len(repair["rounds"]) - 1
             out["congestion_initial_peak"] = repair["initial_peak_overflow"]
             out["congestion_final_peak"] = repair["final_peak_overflow"]
+        feedback = self.context.metadata.get("feedback")
+        if feedback and feedback.get("trajectory"):
+            out["feedback_updates"] = len(feedback["trajectory"])
         return out
 
 

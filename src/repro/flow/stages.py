@@ -29,6 +29,9 @@ from repro.core.losses import LinearLoss, make_loss
 from repro.core.path_extraction import CriticalPathExtractor, ExtractionConfig
 from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
 from repro.evaluation.evaluator import Evaluator
+from repro.feedback.base import FeedbackCadence, PlacementFeedback
+from repro.feedback.composer import WeightComposer, WeightComposerConfig
+from repro.feedback.timing import StrategyFeedback
 from repro.flow.context import FlowContext
 from repro.flow.stage import register_stage
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
@@ -405,19 +408,91 @@ class TimingWeightStage:
         self.strategy.prepare(ctx)
         ctx.placer_hooks.append(self._attach)
 
+    def _strategy_name(self) -> str:
+        for name, cls in STRATEGIES.items():
+            if type(self.strategy) is cls:
+                return name
+        return type(self.strategy).__name__
+
     def _attach(self, placer: GlobalPlacer, ctx: FlowContext) -> None:
         self.strategy.attach(placer, ctx)
+        record = ctx.feedback_record()
+        placer.feedback.bind(
+            trajectory=record["trajectory"],
+            seconds=record["seconds"],
+            calls=record["calls"],
+        )
+        placer.add_feedback(
+            StrategyFeedback(self.strategy, ctx, name=self._strategy_name()),
+            FeedbackCadence(start=self.start_iteration, interval=self.interval),
+        )
 
-        def callback(
-            placer_obj: GlobalPlacer, iteration: int, x: np.ndarray, y: np.ndarray
-        ) -> None:
-            if iteration < self.start_iteration:
-                return
-            if (iteration - self.start_iteration) % self.interval != 0:
-                return
-            self.strategy.on_timing_iteration(placer_obj, ctx, iteration, x, y)
 
-        placer.add_callback(callback)
+@register_stage("feedback_weight")
+class FeedbackWeightStage:
+    """Composable in-loop net weighting: scheduled feedbacks + one composer.
+
+    ``slots`` is a list of ``(feedback, cadence)`` pairs (cadence ``None``
+    fires every iteration).  The stage prepares every feedback against the
+    flow context, builds a fresh :class:`WeightComposer` per run, and
+    registers a placer hook that (a) binds the placer's scheduler to the
+    run-wide composer/trajectory/runtime containers and (b) schedules the
+    feedback slots.  Because the binding happens per constructed placer,
+    warm-started refine placements (the routability-repair loop) continue
+    the same composed weight state instead of restarting from ones.
+
+    This stage is the composition seam: timing criticality, congestion
+    penalty, and any future signal (density, IR drop, ECO deltas) ride the
+    same scheduler and merge through the same composer.
+    """
+
+    name = "feedback_weight"
+
+    def __init__(
+        self,
+        slots: "list[tuple[PlacementFeedback, FeedbackCadence | None]]",
+        *,
+        composer: Optional[WeightComposerConfig] = None,
+    ) -> None:
+        if not slots:
+            raise ValueError("feedback_weight needs at least one feedback slot")
+        self.slots = [
+            (feedback, cadence if cadence is not None else FeedbackCadence())
+            for feedback, cadence in slots
+        ]
+        self.composer_config = (
+            composer if composer is not None else WeightComposerConfig()
+        )
+        self.composer: Optional[WeightComposer] = None
+
+    def run(self, ctx: FlowContext) -> None:
+        if ctx.placer is not None:
+            raise ValueError(
+                "feedback_weight must come before global_place in the stage "
+                "list: it hooks into the placement loop via placer hooks"
+            )
+        for feedback, _ in self.slots:
+            feedback.prepare(ctx)
+        # Fresh composed-weight state per flow run; shared across every
+        # placer the run constructs.
+        self.composer = WeightComposer(config=self.composer_config)
+        record = ctx.feedback_record()
+
+        def hook(placer: GlobalPlacer, ctx: FlowContext) -> None:
+            placer.feedback.bind(
+                composer=self.composer,
+                trajectory=record["trajectory"],
+                seconds=record["seconds"],
+                calls=record["calls"],
+            )
+            if self.composer.initialized:
+                # Warm-started refine placements resume from the composed
+                # weights instead of resetting every net to 1.
+                placer.set_net_weights(self.composer.weights.copy())
+            for feedback, cadence in self.slots:
+                placer.add_feedback(feedback, cadence)
+
+        ctx.placer_hooks.append(hook)
 
 
 @register_stage("global_place")
@@ -567,6 +642,14 @@ class RoutabilityRepairStage:
             result = placer.run(x0, y0)
             return result.x, result.y
 
+        def legalize_fn(lx: np.ndarray, ly: np.ndarray):
+            # Same engine/fallback policy as LegalizeStage, so the loop
+            # scores exactly what the flow will later commit to.
+            legal = AbacusLegalizer(design).legalize(lx, ly)
+            if not legal.success:
+                legal = GreedyLegalizer(design).legalize(lx, ly)
+            return legal.x, legal.y
+
         x, y = ctx.positions()
         with ctx.profiler.section("routability"):
             outcome = run_inflation_loop(
@@ -576,11 +659,17 @@ class RoutabilityRepairStage:
                 y,
                 estimator=estimator,
                 config=self.inflation,
+                legalize_fn=legalize_fn,
             )
         ctx.x, ctx.y = outcome.x, outcome.y
         design.set_positions(outcome.x, outcome.y)
         ctx.congestion = outcome.result
-        ctx.congestion_xy = (outcome.x, outcome.y)
+        # With legalized scoring the kept CongestionResult describes the
+        # legalized copy, not these raw positions: leave congestion_xy unset
+        # so downstream stages re-estimate instead of reusing a mismatch.
+        ctx.congestion_xy = (
+            None if self.inflation.score_legalized else (outcome.x, outcome.y)
+        )
         ctx.metadata["routability_repair"] = outcome.as_dict()
         if len(outcome.rounds) > 1:
             logger.info(
@@ -640,3 +729,9 @@ class EvaluateStage:
             ctx.evaluation = Evaluator(
                 ctx.design, ctx.constraints, corners=corners, congestion=congestion
             ).evaluate(x, y, congestion_result=precomputed)
+            # Attach the run's feedback trajectory (per-update WNS / peak
+            # overflow / weight-norm rows) so one report carries both the
+            # final scores and how the feedback loop got there.
+            record = ctx.metadata.get("feedback")
+            if record and record.get("trajectory"):
+                ctx.evaluation.feedback_trajectory = list(record["trajectory"])

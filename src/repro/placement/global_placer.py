@@ -9,10 +9,15 @@ electrostatic density penalty, and ``T_t`` optional extra terms (the paper's
 pin-to-pin attraction, Eq. 6).  Net weights ``w_e`` default to one and are
 adjusted by net-weighting timing-driven flows (Eq. 5).
 
-A flow hooks into the engine through per-iteration callbacks; this is how the
+A flow hooks into the engine through scheduled *placement feedbacks*
+(:mod:`repro.feedback`): each feedback slot pairs an analysis component with
+a firing cadence, and the engine's :class:`~repro.feedback.scheduler.
+FeedbackScheduler` dispatches them once per iteration.  This is how the
 timing-driven placers run STA every ``m`` iterations, update net weights or
-pin-pair weights, and record TNS/WNS trajectories (Fig. 5) without the engine
-knowing anything about timing.
+pin-pair weights, and record TNS/WNS trajectories (Fig. 5) without the
+engine knowing anything about timing — and how congestion weighting merges
+into the same loop.  The legacy ``add_callback`` API remains as a thin shim
+over an every-iteration feedback slot.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.feedback.base import FeedbackCadence, PlacementFeedback
+from repro.feedback.scheduler import CallbackFeedback, FeedbackScheduler, FeedbackSlot
 from repro.netlist.design import Design
 from repro.placement.density import ElectrostaticDensity
 from repro.placement.initial import clamp_to_die, initial_placement
@@ -109,7 +116,7 @@ class GlobalPlacer:
         )
         self.objective = PlacementObjective()
         self.net_weights = np.ones(arrays.num_nets, dtype=np.float64)
-        self.callbacks: List[IterationCallback] = []
+        self.feedback = FeedbackScheduler()
         self.history = PlacementHistory()
 
         # Preconditioner: pins per instance + density_weight * area.
@@ -131,16 +138,53 @@ class GlobalPlacer:
         """Add an extra differentiable term (e.g. pin-to-pin attraction)."""
         self.objective.add_term(term)
 
+    def add_feedback(
+        self,
+        feedback: PlacementFeedback,
+        cadence: Optional[FeedbackCadence] = None,
+    ) -> FeedbackSlot:
+        """Schedule a placement feedback (fires on ``cadence``, default every
+        iteration) and give it the chance to attach objective terms."""
+        slot = self.feedback.add(feedback, cadence)
+        feedback.attach(self)
+        return slot
+
     def add_callback(self, callback: IterationCallback) -> None:
-        """Register a per-iteration hook ``callback(placer, iteration, x, y)``."""
-        self.callbacks.append(callback)
+        """Register a per-iteration hook ``callback(placer, iteration, x, y)``.
+
+        Compatibility shim over :meth:`add_feedback`: the callback becomes an
+        every-iteration :class:`~repro.feedback.scheduler.CallbackFeedback`
+        slot on the scheduler.
+        """
+        self.add_feedback(CallbackFeedback(callback))
 
     def set_net_weights(self, weights: np.ndarray) -> None:
-        """Replace the per-net wirelength weights (net-weighting TDP flows)."""
-        weights = np.asarray(weights, dtype=np.float64)
-        if weights.shape != self.net_weights.shape:
-            raise ValueError("net weight array has the wrong length")
-        self.net_weights = weights
+        """Replace the per-net wirelength weights (net-weighting TDP flows).
+
+        Accepts any real numeric array of shape ``(num_nets,)``; anything
+        else — wrong shape (including scalars that would silently
+        broadcast), non-numeric dtypes, negative or non-finite entries —
+        raises with a description of the problem.
+        """
+        arr = np.asarray(weights)
+        if arr.dtype == object or not np.issubdtype(arr.dtype, np.number):
+            raise TypeError(
+                f"net weights must be a real numeric array, got dtype {arr.dtype}"
+            )
+        if np.issubdtype(arr.dtype, np.complexfloating):
+            raise TypeError("net weights must be real, got a complex array")
+        if arr.shape != self.net_weights.shape:
+            raise ValueError(
+                f"net weight array has shape {arr.shape}, expected "
+                f"{self.net_weights.shape} (one weight per net; scalars are "
+                "not broadcast)"
+            )
+        arr = arr.astype(np.float64, copy=False)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("net weights must be finite (no NaN/inf)")
+        if arr.size and float(arr.min()) < 0.0:
+            raise ValueError("net weights must be non-negative")
+        self.net_weights = arr
 
     def reset_optimizer_momentum(self) -> None:
         """Restart Nesterov momentum (call after changing the objective).
@@ -253,8 +297,7 @@ class GlobalPlacer:
                 self.history.density_weight.append(self.density_weight)
                 self.history.objective.append(hpwl)
 
-            for callback in self.callbacks:
-                callback(self, iteration, x, y)
+            self.feedback.dispatch(self, iteration, x, y)
 
             if config.verbose and iteration % config.log_every == 0:
                 logger.info(
@@ -269,6 +312,7 @@ class GlobalPlacer:
                 converged = True
                 break
 
+        self.feedback.finalize(self)
         design.set_positions(x, y)
         return PlacementResult(
             x=x,

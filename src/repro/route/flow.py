@@ -1,16 +1,25 @@
-"""The ``routability`` flow preset configuration and retrofit helpers.
+"""The routability flow preset configurations and retrofit helpers.
 
-The preset composes the existing pipeline stages with the routability
-subsystem::
+Two presets live here:
 
-    global_place -> routability_repair -> legalize -> congestion -> evaluate
+* ``routability`` — the PR-4 shape: congestion acts *after* placement via
+  the cell-inflation repair loop::
 
-:func:`add_routability` retrofits the same behavior onto any already-built
-stage list (this is what the CLI's ``--routability`` flag does): a
-:class:`~repro.flow.stages.RoutabilityRepairStage` is inserted right after
-the last global-placement stage, a congestion-map stage is added after
-legalization, and the evaluation stage is switched to report congestion
-metrics alongside HPWL/TNS/WNS.
+      global_place -> routability_repair -> legalize -> congestion -> evaluate
+
+* ``routability-gp`` — congestion (and timing) act *inside* the placement
+  loop as composed net-weighting feedbacks, with the inflation loop demoted
+  to post-place cleanup::
+
+      feedback_weight -> global_place -> routability_repair -> legalize
+          -> congestion -> evaluate
+
+:func:`add_routability` retrofits the inflation loop onto any already-built
+stage list (the CLI's ``--routability`` flag); :func:`add_congestion_
+weighting` retrofits the in-loop congestion net weighting (the CLI's
+``--congestion-weighting`` flag) by inserting a
+:class:`~repro.flow.stages.FeedbackWeightStage` before the first
+global-placement stage.
 """
 
 from __future__ import annotations
@@ -20,11 +29,19 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.feedback.base import FeedbackCadence
+from repro.feedback.composer import WeightComposerConfig
+from repro.feedback.congestion import CongestionNetWeighting
 from repro.placement.global_placer import PlacementConfig
 from repro.route.inflation import InflationConfig
 from repro.route.rudy import CongestionConfig
 
-__all__ = ["RoutabilityConfig", "add_routability"]
+__all__ = [
+    "RoutabilityConfig",
+    "RoutabilityGPConfig",
+    "add_congestion_weighting",
+    "add_routability",
+]
 
 
 @dataclass
@@ -81,6 +98,190 @@ class RoutabilityConfig:
         cfg = dataclasses.replace(self.inflation, **overrides)
         cfg.validate()
         return cfg
+
+
+@dataclass
+class RoutabilityGPConfig:
+    """Configuration of the ``routability-gp`` preset.
+
+    Composes two in-loop weighting feedbacks — congestion (RUDY overflow
+    under each net's bbox) and timing criticality — through one
+    :class:`~repro.feedback.composer.WeightComposer`, then runs the PR-4
+    inflation loop as post-place cleanup.  Flat fields keep every knob
+    addressable by the CLI's ``--set key=value``.
+    """
+
+    # Placement engine schedule.
+    max_iterations: int = 450
+    stop_overflow: float = 0.08
+    target_density: float = 1.0
+    seed: int = 0
+    verbose: bool = False
+    # Congestion net weighting: cadence (warmup / every-K / cooldown) and
+    # proposal shape.
+    congestion_start: int = 100
+    congestion_interval: int = 10
+    congestion_end: Optional[int] = None
+    congestion_max_boost: float = 0.6
+    congestion_saturation: float = 0.4
+    # Timing criticality weighting (composed with congestion).  Defaults are
+    # deliberately gentler than a pure timing-driven flow: composed with
+    # congestion, both signals spend the same HPWL budget, and the
+    # acceptance experiment (tests/test_feedback.py) gates the composed
+    # preset against the inflation-only flow at <= 2% legalized HPWL cost.
+    timing: bool = True
+    timing_start: int = 150
+    timing_interval: int = 15
+    timing_max_boost: float = 0.3
+    timing_criticality_threshold: float = 0.25
+    # Shared composer dynamics.
+    momentum_decay: float = 0.75
+    max_weight: float = 6.0
+    max_target_boost: Optional[float] = 4.0
+    # Post-place inflation cleanup (the PR-4 loop).
+    inflate: bool = True
+    inflation_rounds: Optional[int] = None
+    overflow_target: Optional[float] = None
+    max_hpwl_growth: Optional[float] = None
+    refine_iterations: int = 150
+    # Congestion model shared by weighting, repair, and reporting.
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
+    inflation: InflationConfig = field(default_factory=InflationConfig)
+    # MCMM analysis corners (None = single corner).
+    corners: Optional[object] = None
+    # Post-processing.
+    legalize: bool = True
+
+    def placement_config(self) -> PlacementConfig:
+        return PlacementConfig(
+            max_iterations=self.max_iterations,
+            stop_overflow=self.stop_overflow,
+            target_density=self.target_density,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+
+    def inflation_config(self) -> InflationConfig:
+        overrides = {
+            key: value
+            for key, value in (
+                ("max_rounds", self.inflation_rounds),
+                ("overflow_target", self.overflow_target),
+                ("max_hpwl_growth", self.max_hpwl_growth),
+            )
+            if value is not None
+        }
+        cfg = dataclasses.replace(self.inflation, **overrides)
+        cfg.validate()
+        return cfg
+
+    def composer_config(self) -> WeightComposerConfig:
+        cfg = WeightComposerConfig(
+            momentum_decay=self.momentum_decay,
+            max_weight=self.max_weight,
+            max_target_boost=self.max_target_boost,
+        )
+        cfg.validate()
+        return cfg
+
+    def feedback_slots(self) -> List[tuple]:
+        """The ``(feedback, cadence)`` pairs the preset schedules."""
+        from repro.feedback.timing import TimingCriticalityWeighting
+
+        slots: List[tuple] = [
+            (
+                CongestionNetWeighting(
+                    self.congestion,
+                    max_boost=self.congestion_max_boost,
+                    saturation_overflow=self.congestion_saturation,
+                ),
+                FeedbackCadence(
+                    start=self.congestion_start,
+                    interval=self.congestion_interval,
+                    end=self.congestion_end,
+                ),
+            )
+        ]
+        if self.timing:
+            slots.append(
+                (
+                    TimingCriticalityWeighting(
+                        max_boost=self.timing_max_boost,
+                        criticality_threshold=self.timing_criticality_threshold,
+                    ),
+                    FeedbackCadence(
+                        start=self.timing_start, interval=self.timing_interval
+                    ),
+                )
+            )
+        return slots
+
+
+def add_congestion_weighting(
+    stages: List[object],
+    *,
+    congestion: Optional[CongestionConfig] = None,
+    max_boost: float = 1.0,
+    saturation_overflow: float = 0.5,
+    start: int = 100,
+    interval: int = 10,
+    composer: Optional[WeightComposerConfig] = None,
+) -> List[object]:
+    """Retrofit in-loop congestion net weighting onto an existing stage list.
+
+    Returns a new stage list with a
+    :class:`~repro.flow.stages.FeedbackWeightStage` scheduling a
+    :class:`~repro.feedback.congestion.CongestionNetWeighting` inserted
+    before the first global-placement stage (raises if the flow has none).
+    The original list is not modified.
+    """
+    from repro.flow.stages import (
+        FeedbackWeightStage,
+        GlobalPlaceStage,
+        MomentumNetWeightStrategy,
+        TimingWeightStage,
+    )
+
+    place_positions = [
+        i for i, stage in enumerate(stages) if isinstance(stage, GlobalPlaceStage)
+    ]
+    if not place_positions:
+        raise ValueError(
+            "--congestion-weighting requires a flow with a global_place "
+            "stage (the weighting feedback runs inside the placement loop)"
+        )
+    for stage in stages:
+        # A legacy strategy that *applies* net weights itself (momentum net
+        # weighting) and the composer would silently clobber each other's
+        # weight vector; refuse instead of corrupting both signals.  The
+        # pin-pair strategies attach objective terms, not net weights, so
+        # they compose fine.
+        if isinstance(stage, TimingWeightStage) and isinstance(
+            stage.strategy, MomentumNetWeightStrategy
+        ):
+            raise ValueError(
+                "--congestion-weighting cannot compose with the legacy "
+                "momentum net-weighting strategy (both own the net-weight "
+                "vector and would overwrite each other); use the "
+                "routability-gp preset, which composes timing criticality "
+                "and congestion through one WeightComposer"
+            )
+    weighting = FeedbackWeightStage(
+        [
+            (
+                CongestionNetWeighting(
+                    congestion,
+                    max_boost=max_boost,
+                    saturation_overflow=saturation_overflow,
+                ),
+                FeedbackCadence(start=start, interval=interval),
+            )
+        ],
+        composer=composer,
+    )
+    out: List[object] = list(stages)
+    out.insert(place_positions[0], weighting)
+    return out
 
 
 def add_routability(

@@ -45,6 +45,11 @@ __all__ = [
 # per-instance (1.0 = no inflation) and only meaningful for movable cells.
 PlaceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
+# A legalization callback: (x, y) -> legalized (x, y), used to *score*
+# candidate placements on what they will actually look like after
+# legalization (see InflationConfig.score_legalized).
+LegalizeFn = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
 
 @dataclass
 class InflationConfig:
@@ -64,6 +69,14 @@ class InflationConfig:
     max_step: float = 1.6             # per-round growth clamp
     max_total: float = 2.5            # accumulated growth clamp
     decay: float = 0.85               # relaxation toward 1 in cool bins
+    # Score rounds on *legalized* copies of each candidate placement (when
+    # the loop is given a legalizer).  Global placements overlap cells, and
+    # overlap hides RUDY demand: a hot region can look clean unlegalized and
+    # blow up once cells snap to rows.  Scoring the legalized copy makes the
+    # accept/reject decision optimize the overflow that survives to the
+    # final report instead of a mirage.  The loop still iterates (inflates /
+    # warm-starts) from the raw placements.
+    score_legalized: bool = True
 
     def validate(self) -> None:
         if self.max_rounds < 0:
@@ -198,6 +211,7 @@ def run_inflation_loop(
     *,
     estimator: Optional[CongestionEstimator] = None,
     config: Optional[InflationConfig] = None,
+    legalize_fn: Optional[LegalizeFn] = None,
 ) -> InflationOutcome:
     """Iterate place → estimate → inflate until overflow converges.
 
@@ -208,6 +222,11 @@ def run_inflation_loop(
     within ``config.max_hpwl_growth`` of the starting placement (the
     starting placement itself is always admissible, so a fruitless loop
     degrades nothing).
+
+    With ``legalize_fn`` and ``config.score_legalized`` (the default), every
+    candidate — including the starting placement — is *scored* (congestion +
+    HPWL) on a legalized copy, while inflation and warm starts keep using
+    the raw placements; the returned positions stay unlegalized.
     """
     core = as_core(design)
     config = config if config is not None else InflationConfig()
@@ -215,10 +234,17 @@ def run_inflation_loop(
     estimator = estimator if estimator is not None else CongestionEstimator(core)
     inflation = CellInflation(core, config)
 
+    def score(
+        raw_x: np.ndarray, raw_y: np.ndarray
+    ) -> Tuple[CongestionResult, float, np.ndarray, np.ndarray]:
+        sx, sy = raw_x, raw_y
+        if legalize_fn is not None and config.score_legalized:
+            sx, sy = legalize_fn(raw_x, raw_y)
+        return estimator.estimate(sx, sy), core.total_hpwl(sx, sy), sx, sy
+
     x = np.asarray(x0, dtype=np.float64).copy()
     y = np.asarray(y0, dtype=np.float64).copy()
-    result = estimator.estimate(x, y)
-    base_hpwl = core.total_hpwl(x, y)
+    result, base_hpwl, sx, sy = score(x, y)
     hpwl_budget = base_hpwl * (1.0 + config.max_hpwl_growth)
 
     rounds = [
@@ -240,12 +266,13 @@ def run_inflation_loop(
     for round_index in range(1, config.max_rounds + 1):
         if converged:
             break
-        num_inflated = inflation.update(estimator, result, x, y)
+        # Inflate against the scored (possibly legalized) geometry so the
+        # factors target the congestion that survives legalization.
+        num_inflated = inflation.update(estimator, result, sx, sy)
         if num_inflated == 0:
             break
         x, y = place_fn(x, y, inflation.scale)
-        result = estimator.estimate(x, y)
-        hpwl = core.total_hpwl(x, y)
+        result, hpwl, sx, sy = score(x, y)
         within_budget = hpwl <= hpwl_budget
         improved = result.peak_overflow < best_peak - config.min_improvement
         accepted = within_budget and result.peak_overflow < best_peak

@@ -106,6 +106,13 @@ class CongestionResult:
     bin_h: float
     die_xl: float
     die_yl: float
+    # Active-net bounding boxes (xmin, xmax, ymin, ymax) the map build
+    # already reduced from the CSR pin arrays; per-net consumers (e.g.
+    # congestion net weighting) reuse them instead of repeating the O(pins)
+    # reduction on the same positions.
+    net_bboxes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
     _ratio: Optional[np.ndarray] = field(default=None, init=False, repr=False)
 
     @property
@@ -259,6 +266,11 @@ class CongestionEstimator:
         self._csr_net = core.csr_net[active_csr_mask]
         self._active_ids = np.nonzero(self._net_active)[0]
 
+    @property
+    def active_net_ids(self) -> np.ndarray:
+        """Net ids the estimator models (degree within ``[2, max_net_degree]``)."""
+        return self._active_ids
+
     # ------------------------------------------------------------------
     def net_bboxes(
         self,
@@ -296,6 +308,25 @@ class CongestionEstimator:
         i0 = np.clip(np.floor((lo - origin) / width).astype(np.int64), 0, count - 1)
         i1 = np.clip(np.floor((hi - origin) / width).astype(np.int64), 0, count - 1)
         return i0, np.maximum(i1, i0)
+
+    def net_bin_spans(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        bboxes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Inclusive bin-index spans ``(ix0, ix1, iy0, iy1)`` of the active
+        nets' bounding boxes — the grid footprint each net's RUDY demand
+        covers.  ``bboxes`` lets a caller reuse boxes from :meth:`net_bboxes`.
+        """
+        die = self.core.die
+        xmin, xmax, ymin, ymax = (
+            bboxes if bboxes is not None else self.net_bboxes(x, y)
+        )
+        ix0, ix1 = self._bin_range(xmin, xmax, die.xl, self.bin_w, self.num_bins_x)
+        iy0, iy1 = self._bin_range(ymin, ymax, die.yl, self.bin_h, self.num_bins_y)
+        return ix0, ix1, iy0, iy1
 
     @staticmethod
     def _splat(
@@ -379,6 +410,7 @@ class CongestionEstimator:
             bin_h=self.bin_h,
             die_xl=die.xl,
             die_yl=die.yl,
+            net_bboxes=(xmin, xmax, ymin, ymax),
         )
 
     # ------------------------------------------------------------------

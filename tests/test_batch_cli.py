@@ -239,7 +239,7 @@ class TestCLICommands:
         presets = {item["preset"] for item in payload["items"]}
         assert presets == {
             "efficient_tdp", "dreamplace", "dreamplace4", "differentiable_tdp",
-            "routability",
+            "routability", "routability-gp",
         }
         assert payload["aggregate"]["failed"] == 0
 
@@ -289,3 +289,93 @@ class TestCLICommands:
         assert code == 0
         payload = json.loads(out.read_text())
         assert "congestion_peak_overflow" in payload
+
+    def test_run_congestion_weighting_flag_with_profile(self, tmp_path):
+        """--congestion-weighting retrofits in-loop weighting onto any
+        preset, and --profile reports the per-feedback breakdown."""
+        out = tmp_path / "weighted.json"
+        code = main([
+            "run", "sb_cong_1", "--preset", "dreamplace", "--scale", "0.4",
+            "--set", "max_iterations=140", "--congestion-weighting",
+            "--profile", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload.get("feedback_updates", 0) >= 1
+        profile = json.loads((tmp_path / "weighted.profile.json").read_text())
+        assert "congestion" in profile["feedback"]["seconds"]
+        assert profile["feedback"]["calls"]["congestion"] >= 1
+        assert profile["feedback"]["updates"] >= 1
+
+    def test_run_routability_gp_preset_by_name(self, tmp_path):
+        out = tmp_path / "gp.json"
+        code = main([
+            "run", "sb_cong_1", "--preset", "routability-gp", "--scale", "0.4",
+            "--set", "max_iterations=140", "--set", "refine_iterations=40",
+            "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "congestion_peak_overflow" in payload
+        assert payload.get("feedback_updates", 0) >= 1
+
+    def test_congestion_command_json_to_stdout(self, capsys):
+        """`repro congestion --json -` streams the full report to stdout
+        (scriptable hotspot reports, satellite of ISSUE 5)."""
+        code = main([
+            "congestion", "sb_cong_1", "--preset", "dreamplace",
+            "--scale", "0.4", "--set", "max_iterations=80",
+            "--top", "2", "--json", "-",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        start = text.index("{")
+        payload = json.loads(text[start:])
+        assert payload["congestion"]["peak_overflow"] >= 0.0
+        assert len(payload["hotspots"]) == 2
+        assert "run" in payload
+
+    def test_congestion_command_with_weighting_flag(self, tmp_path):
+        out = tmp_path / "weighted_congestion.json"
+        code = main([
+            "congestion", "sb_cong_1", "--preset", "dreamplace",
+            "--scale", "0.4", "--set", "max_iterations=140",
+            "--congestion-weighting", "--top", "2", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["congestion"]["peak_overflow"] >= 0.0
+
+    def test_routability_flag_on_gp_preset_is_noop(self, tmp_path):
+        """--routability on a preset that already repairs must not insert a
+        second inflation loop (guards on stages, not preset names)."""
+        out = tmp_path / "gp_routability.json"
+        code = main([
+            "run", "sb_cong_1", "--preset", "routability-gp", "--scale", "0.4",
+            "--set", "max_iterations=140", "--set", "refine_iterations=30",
+            "--routability", "--congestion-weighting", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        # One repair loop, not two: inflation_rounds stays in single digits
+        # and the summary parses (a duplicated stage would double-run).
+        assert payload["inflation_rounds"] <= 5
+
+    def test_congestion_weighting_rejects_dreamplace4(self):
+        with pytest.raises(SystemExit, match="momentum net-weighting"):
+            main([
+                "run", "sb_mini_18", "--preset", "dreamplace4", "--scale", "0.2",
+                "--set", "max_iterations=40", "--congestion-weighting",
+            ])
+
+    def test_profile_with_json_stdout_names_profile_after_run(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "run", "sb_mini_18", "--preset", "dreamplace", "--scale", "0.2",
+            "--set", "max_iterations=40", "--profile", "--json", "-",
+        ])
+        assert code == 0
+        assert not (tmp_path / "-.profile.json").exists()
+        assert (tmp_path / "sb_mini_18_dreamplace.profile.json").exists()

@@ -33,6 +33,14 @@ def _fast_overrides(preset):
         return {"max_iterations": 60}
     if preset == "routability":
         return {"max_iterations": 60, "refine_iterations": 30}
+    if preset == "routability-gp":
+        # Shrink the feedback cadences so both in-loop weightings actually
+        # fire inside the 60-iteration fast run.
+        return {
+            "max_iterations": 60, "refine_iterations": 30,
+            "congestion_start": 20, "congestion_interval": 10,
+            "timing_start": 30, "timing_interval": 10,
+        }
     return dict(FAST)
 
 

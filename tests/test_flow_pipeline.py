@@ -61,6 +61,7 @@ class TestPresets:
             "dreamplace4",
             "differentiable_tdp",
             "routability",
+            "routability-gp",
         }
 
     def test_preset_descriptions(self):

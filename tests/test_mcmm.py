@@ -370,6 +370,13 @@ def _fast_overrides(preset):
         return {"max_iterations": 50}
     if preset == "routability":
         return {"max_iterations": 50, "refine_iterations": 30}
+    if preset == "routability-gp":
+        # Shrunk feedback cadences so both weightings fire within 50 iters.
+        return {
+            "max_iterations": 50, "refine_iterations": 30,
+            "congestion_start": 20, "congestion_interval": 10,
+            "timing_start": 25, "timing_interval": 10,
+        }
     return dict(_FAST)
 
 
