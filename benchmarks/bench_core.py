@@ -58,6 +58,12 @@ from repro.timing.constraints import Corner
 from repro.timing.sta import STAEngine
 
 DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10", "sb_cong_1"]
+# XL tier: kernel-pool hot-path walls (congestion map, full STA, density
+# splat) serial vs sharded.  Speedup fields are informational-only — they
+# depend on the host's core count — while the serial walls are trend-gated
+# like any other row (see bench_trend.py).
+XL_DESIGNS = ["sb_xl_1", "sb_xl_2"]
+XL_WORKER_COUNTS = (2, 4)
 MCMM_CORNER_COUNTS = (1, 2, 4)
 # Congestion-weighted GP overhead measurement: fixed-length runs (stop
 # criterion disabled so both configurations execute exactly GP_ITERATIONS
@@ -190,6 +196,88 @@ def bench_design(name: str) -> dict:
             1e3 * gp_update_seconds / max(gp_updates, 1), 3
         ),
     }
+
+
+def bench_xl_design(name: str, *, scale: float = 1.0) -> dict:
+    """XL-tier hot-path walls: serial vs kernel-pool sharded.
+
+    Parallel passes double as an end-to-end bitwise check: each worker
+    variant's output is compared against the serial result and a mismatch
+    raises (the pool's bit-exactness contract, enforced on real designs).
+    """
+    import os
+
+    from repro.parallel import shutdown_kernel_pools
+    from repro.placement.density import ElectrostaticDensity
+    from repro.placement.initial import initial_placement
+    from repro.route.rudy import CongestionConfig
+    from repro.timing.constraints import TimingConstraints
+
+    build_seconds, design = _time(lambda: load_benchmark(name, scale=scale), repeat=1)
+    cx, cy = initial_placement(design, seed=0)
+
+    row = {
+        "design": name,
+        "scale": scale,
+        "num_instances": design.num_instances,
+        "num_nets": design.num_nets,
+        "num_pins": design.num_pins,
+        "cpu_count": os.cpu_count(),
+        "build_ms": round(build_seconds * 1e3, 3),
+    }
+
+    # Congestion map: one full RUDY/pin-density estimate.
+    serial_est = CongestionEstimator(design)
+    serial_seconds, serial_map = _time(lambda: serial_est.estimate(cx, cy), repeat=3)
+    row["congestion_map_ms"] = round(serial_seconds * 1e3, 3)
+    for workers in XL_WORKER_COUNTS:
+        est = CongestionEstimator(design, CongestionConfig(workers=workers))
+        seconds, result = _time(lambda: est.estimate(cx, cy), repeat=3)
+        if not (
+            np.array_equal(result.demand_h, serial_map.demand_h)
+            and np.array_equal(result.demand_v, serial_map.demand_v)
+            and np.array_equal(result.pin_density, serial_map.pin_density)
+        ):
+            raise AssertionError(
+                f"{name}: {workers}-worker congestion map differs from serial"
+            )
+        row[f"congestion_map_w{workers}_ms"] = round(seconds * 1e3, 3)
+        row[f"congestion_map_speedup_w{workers}"] = round(serial_seconds / seconds, 3)
+
+    # Full STA (arrival + required sweeps dominate at XL sizes).
+    constraints = TimingConstraints.from_design(design)
+    serial_sta = STAEngine(design, constraints)
+    serial_seconds, serial_result = _time(
+        lambda: serial_sta.update_timing(), repeat=3
+    )
+    row["sta_full_ms"] = round(serial_seconds * 1e3, 3)
+    for workers in XL_WORKER_COUNTS:
+        sta = STAEngine(design, constraints, workers=workers)
+        seconds, result = _time(lambda: sta.update_timing(), repeat=3)
+        if not (
+            np.array_equal(result.arrival, serial_result.arrival)
+            and np.array_equal(result.required, serial_result.required)
+        ):
+            raise AssertionError(f"{name}: {workers}-worker STA differs from serial")
+        row[f"sta_full_w{workers}_ms"] = round(seconds * 1e3, 3)
+        row[f"sta_full_speedup_w{workers}"] = round(serial_seconds / seconds, 3)
+
+    # Density splat (the electrostatic placer's per-iteration deposition).
+    serial_density = ElectrostaticDensity(design)
+    serial_seconds, serial_grid = _time(lambda: serial_density._splat(cx, cy), repeat=3)
+    row["density_splat_ms"] = round(serial_seconds * 1e3, 3)
+    for workers in XL_WORKER_COUNTS:
+        density = ElectrostaticDensity(design, workers=workers)
+        seconds, grid = _time(lambda: density._splat(cx, cy), repeat=3)
+        if not np.array_equal(grid, serial_grid):
+            raise AssertionError(
+                f"{name}: {workers}-worker density splat differs from serial"
+            )
+        row[f"density_splat_w{workers}_ms"] = round(seconds * 1e3, 3)
+        row[f"density_splat_speedup_w{workers}"] = round(serial_seconds / seconds, 3)
+
+    shutdown_kernel_pools()
+    return row
 
 
 def check_against_baseline(
@@ -333,9 +421,41 @@ def main(argv=None) -> int:
         help="also write the freshly measured rows to this JSON path "
         "(useful with --check, which never touches the recorded baseline)",
     )
+    parser.add_argument(
+        "--xl",
+        action="store_true",
+        help="also measure the XL tier (kernel-pool serial vs sharded walls "
+        "on sb_xl_1/sb_xl_2)",
+    )
+    parser.add_argument(
+        "--xl-only",
+        action="store_true",
+        help="measure only the XL tier (skips the sb_mini micro-benchmark)",
+    )
+    parser.add_argument(
+        "--xl-designs",
+        default=",".join(XL_DESIGNS),
+        help="comma-separated XL design names",
+    )
+    parser.add_argument(
+        "--xl-scale",
+        type=float,
+        default=1.0,
+        help="cell-count multiplier for the XL designs (CI smoke uses a "
+        "reduced scale to stay time-boxed)",
+    )
     args = parser.parse_args(argv)
 
-    rows = [bench_design(name) for name in args.designs.split(",") if name]
+    rows = []
+    if not args.xl_only:
+        rows = [bench_design(name) for name in args.designs.split(",") if name]
+    xl_rows = []
+    if args.xl or args.xl_only:
+        xl_rows = [
+            bench_xl_design(name, scale=args.xl_scale)
+            for name in args.xl_designs.split(",")
+            if name
+        ]
     out = Path(args.out)
     payload = {
         "benchmark": "design core / CompiledDesign / STA micro-benchmark",
@@ -343,6 +463,8 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "designs": rows,
     }
+    if xl_rows:
+        payload["xl_designs"] = xl_rows
     if args.check:
         status = check_against_baseline(
             rows,
@@ -354,12 +476,50 @@ def main(argv=None) -> int:
         )
     else:
         status = 0
+        # Partial runs (--xl-only, or a run without --xl) must not silently
+        # drop the other tier's recorded rows from the baseline.
+        if out.exists():
+            try:
+                prior = json.loads(out.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                prior = {}
+            if not rows and prior.get("designs"):
+                payload["designs"] = prior["designs"]
+            if not xl_rows and prior.get("xl_designs"):
+                payload["xl_designs"] = prior["xl_designs"]
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     if args.fresh_out:
         fresh = Path(args.fresh_out)
         fresh.parent.mkdir(parents=True, exist_ok=True)
         fresh.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    if xl_rows:
+        xl_header = (
+            f"{'xl design':<12} {'cells':>8} {'build':>8} {'rudy s/2/4':>22} "
+            f"{'sta s/2/4':>22} {'splat s/2/4':>22} {'x4 rudy':>8} {'x4 sta':>7}"
+        )
+        print(xl_header)
+        for row in xl_rows:
+            rudy = "/".join(
+                f"{row[key]:.0f}"
+                for key in ("congestion_map_ms", "congestion_map_w2_ms", "congestion_map_w4_ms")
+            )
+            sta = "/".join(
+                f"{row[key]:.0f}"
+                for key in ("sta_full_ms", "sta_full_w2_ms", "sta_full_w4_ms")
+            )
+            splat = "/".join(
+                f"{row[key]:.0f}"
+                for key in ("density_splat_ms", "density_splat_w2_ms", "density_splat_w4_ms")
+            )
+            print(
+                f"{row['design']:<12} {row['num_instances']:>8} "
+                f"{row['build_ms']:>7.0f}m {rudy:>21}m {sta:>21}m {splat:>21}m "
+                f"{row['congestion_map_speedup_w4']:>7.2f}x "
+                f"{row['sta_full_speedup_w4']:>6.2f}x"
+            )
+        print()
 
     header = (
         f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "

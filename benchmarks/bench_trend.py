@@ -45,6 +45,18 @@ GATED_FIELDS = (
     "gp_congestion_weighted_ms",
     "snapshot_rebuild_ms",
 )
+# XL tier (payload key "xl_designs"): only the *serial* hot-path walls are
+# gated.  The kernel-pool speedup fields (congestion_map_speedup_w4, ...)
+# depend on the host's core count, so they are reported but never enforced.
+XL_GATED_FIELDS = (
+    "congestion_map_ms",
+    "sta_full_ms",
+)
+XL_INFO_FIELDS = (
+    "congestion_map_speedup_w4",
+    "sta_full_speedup_w4",
+    "density_splat_speedup_w4",
+)
 # Below this, best-of-N timings are scheduler noise and a relative gate flakes.
 ABS_FLOOR_MS = 0.5
 
@@ -54,6 +66,7 @@ def load_rows(path: Path) -> dict:
     return {
         "host": (payload.get("machine"), payload.get("python")),
         "rows": {row["design"]: row for row in payload.get("designs", [])},
+        "xl_rows": {row["design"]: row for row in payload.get("xl_designs", [])},
     }
 
 
@@ -63,12 +76,8 @@ def diff(baseline: dict, fresh: dict, *, tolerance: float, enforce: bool) -> int
     header = f"{'design':<12} {'field':<26} {'baseline':>10} {'fresh':>10} {'delta':>8}"
     print(header)
     print("-" * len(header))
-    for design, fresh_row in fresh["rows"].items():
-        base_row = baseline["rows"].get(design)
-        if base_row is None:
-            print(f"{design:<12} (no baseline row; skipped)")
-            continue
-        for field in GATED_FIELDS:
+    def diff_row(design, base_row, fresh_row, fields):
+        for field in fields:
             if field not in fresh_row or field not in base_row:
                 continue
             recorded = float(base_row[field])
@@ -93,6 +102,25 @@ def diff(baseline: dict, fresh: dict, *, tolerance: float, enforce: bool) -> int
                 f"{design:<12} {field:<26} {recorded:>9.3f}m {measured:>9.3f}m "
                 f"{delta:>+7.1%}{flag}"
             )
+
+    for design, fresh_row in fresh["rows"].items():
+        base_row = baseline["rows"].get(design)
+        if base_row is None:
+            print(f"{design:<12} (no baseline row; skipped)")
+            continue
+        diff_row(design, base_row, fresh_row, GATED_FIELDS)
+    for design, fresh_row in fresh.get("xl_rows", {}).items():
+        base_row = baseline.get("xl_rows", {}).get(design)
+        if base_row is None:
+            print(f"{design:<12} (no XL baseline row; skipped)")
+            continue
+        diff_row(design, base_row, fresh_row, XL_GATED_FIELDS)
+        for field in XL_INFO_FIELDS:
+            if field in fresh_row:
+                print(
+                    f"{design:<12} {field:<26} {'':>10} "
+                    f"{fresh_row[field]:>8.2f}x  (informational)"
+                )
     if failures:
         print()
         for failure in failures:

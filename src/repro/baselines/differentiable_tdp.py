@@ -48,6 +48,9 @@ class DifferentiableTDPConfig:
     # MCMM corners spec (None, "fast,typ,slow", or Corner objects).
     corners: Optional[object] = None
     verbose: bool = False
+    # Kernel-pool workers for the density / congestion / STA hot paths
+    # (0 = serial; see repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
 
     def placement_config(self) -> PlacementConfig:
         return PlacementConfig(
@@ -57,6 +60,7 @@ class DifferentiableTDPConfig:
             target_density=self.target_density,
             seed=self.seed,
             verbose=self.verbose,
+            kernel_workers=self.kernel_workers,
         )
 
 

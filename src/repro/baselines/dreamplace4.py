@@ -47,6 +47,9 @@ class DreamPlace4Config:
     # MCMM corners spec (None, "fast,typ,slow", or Corner objects).
     corners: Optional[object] = None
     verbose: bool = False
+    # Kernel-pool workers for the density / congestion / STA hot paths
+    # (0 = serial; see repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
 
     def placement_config(self) -> PlacementConfig:
         return PlacementConfig(
@@ -56,6 +59,7 @@ class DreamPlace4Config:
             target_density=self.target_density,
             seed=self.seed,
             verbose=self.verbose,
+            kernel_workers=self.kernel_workers,
         )
 
 

@@ -94,8 +94,10 @@ def congestion_benchmark_names() -> List[str]:
 
 
 def available_design_names() -> List[str]:
-    """Every design :func:`load_benchmark` accepts (sb_mini + congestion)."""
-    return benchmark_names() + congestion_benchmark_names()
+    """Every design :func:`load_benchmark` accepts (sb_mini + congestion + XL)."""
+    from repro.benchgen.xl import xl_benchmark_names
+
+    return benchmark_names() + congestion_benchmark_names() + xl_benchmark_names()
 
 
 def load_benchmark(
@@ -109,7 +111,9 @@ def load_benchmark(
     ``scale`` multiplies the cell count (and IO count) so tests can shrink a
     benchmark and ablations can grow one without redefining the spec.
     """
-    spec = SB_MINI_SUITE.get(name) or CONGESTION_SUITE.get(name)
+    from repro.benchgen.xl import XL_SUITE, generate_xl_circuit
+
+    spec = SB_MINI_SUITE.get(name) or CONGESTION_SUITE.get(name) or XL_SUITE.get(name)
     if spec is None:
         raise KeyError(
             f"Unknown benchmark {name!r}; available: "
@@ -122,6 +126,10 @@ def load_benchmark(
             num_primary_inputs=max(4, int(spec.num_primary_inputs * scale)),
             num_primary_outputs=max(4, int(spec.num_primary_outputs * scale)),
         )
+    if name in XL_SUITE:
+        # XL sizes need the O(pins) vectorized generator; the classic
+        # per-gate preferential-attachment draw is O(n^2) past ~20k cells.
+        return generate_xl_circuit(spec, library=library)
     return generate_circuit(spec, library=library)
 
 

@@ -75,6 +75,9 @@ class EfficientTDPConfig:
     # Post-processing.
     legalize: bool = True
     verbose: bool = False
+    # Kernel-pool workers for the density / congestion / STA hot paths
+    # (0 = serial; see repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
 
     def placement_config(self) -> PlacementConfig:
         return PlacementConfig(
@@ -84,6 +87,7 @@ class EfficientTDPConfig:
             target_density=self.target_density,
             seed=self.seed,
             verbose=self.verbose,
+            kernel_workers=self.kernel_workers,
         )
 
 

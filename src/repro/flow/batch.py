@@ -106,6 +106,9 @@ class BatchReport:
     max_workers: int
     executor: str
     ship: str = "generate"
+    # How max_workers was resolved: "explicit" (caller passed it) or
+    # "auto" (affinity-aware CPU count).
+    workers_source: str = "explicit"
 
     @property
     def num_ok(self) -> int:
@@ -146,6 +149,7 @@ class BatchReport:
     def as_dict(self) -> Dict[str, Any]:
         return {
             "max_workers": self.max_workers,
+            "workers_source": self.workers_source,
             "executor": self.executor,
             "ship": self.ship,
             "aggregate": self.aggregate(),
@@ -302,6 +306,7 @@ def run_batch(
     arrays into shared memory.
     """
     jobs = list(jobs)
+    workers_source = "auto" if max_workers is None else "explicit"
     if not jobs:
         raise ValueError("run_batch needs at least one job")
     if ship not in SHIP_MODES:
@@ -311,7 +316,11 @@ def run_batch(
         # any compute is spent, not after every other job has finished.
         _check_job_seed(job)
     if max_workers is None:
-        max_workers = min(len(jobs), os.cpu_count() or 4)
+        from repro.parallel import resolve_worker_count
+
+        # Affinity-aware: honors cgroup/sched_setaffinity CPU limits
+        # (os.process_cpu_count where available) instead of raw cpu_count.
+        max_workers = min(len(jobs), resolve_worker_count())
     max_workers = max(1, int(max_workers))
     start = time.perf_counter()
     # ExitStack guarantees close()+unlink() of every shared-memory pack on
@@ -327,4 +336,5 @@ def run_batch(
         max_workers=max_workers,
         executor=executor,
         ship=ship,
+        workers_source=workers_source,
     )

@@ -130,6 +130,15 @@ def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None
         "merged worst-over-corner slack",
     )
     parser.add_argument(
+        "--kernel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shared-memory kernel-pool workers for the congestion / STA / "
+        "density hot paths (0 = serial, the default; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -243,6 +252,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _check_designs([args.design])
     overrides = _apply_corners(args, _parse_overrides(args.overrides))
     overrides.setdefault("seed", args.seed)
+    if getattr(args, "kernel_workers", None) is not None:
+        overrides.setdefault("kernel_workers", args.kernel_workers)
     design = load_benchmark(args.design, scale=args.scale)
     try:
         runner = build_flow(args.preset, **overrides)
@@ -259,7 +270,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.route.flow import add_routability
 
         try:
-            runner = FlowRunner(add_routability(runner.stages), name=runner.name)
+            runner = FlowRunner(
+                add_routability(runner.stages),
+                name=runner.name,
+                kernel_workers=runner.kernel_workers,
+            )
         except ValueError as exc:
             raise SystemExit(f"repro run: {exc}") from exc
     if getattr(args, "congestion_weighting", False) and not any(
@@ -269,7 +284,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         try:
             runner = FlowRunner(
-                add_congestion_weighting(runner.stages), name=runner.name
+                add_congestion_weighting(runner.stages),
+                name=runner.name,
+                kernel_workers=runner.kernel_workers,
             )
         except ValueError as exc:
             raise SystemExit(f"repro run: {exc}") from exc
@@ -459,6 +476,8 @@ def _cmd_congestion(args: argparse.Namespace) -> int:
     _check_designs([args.design])
     overrides = _apply_corners(args, _parse_overrides(args.overrides))
     overrides.setdefault("seed", args.seed)
+    if getattr(args, "kernel_workers", None) is not None:
+        overrides.setdefault("kernel_workers", args.kernel_workers)
     design = load_benchmark(args.design, scale=args.scale)
     try:
         runner = build_flow(args.preset, **overrides)

@@ -87,7 +87,13 @@ def build_stages(preset_name: str, config: Any = None, **overrides: Any) -> List
 
 def build_flow(preset_name: str, config: Any = None, **overrides: Any) -> FlowRunner:
     """Build a ready-to-run :class:`FlowRunner` from a preset."""
-    return FlowRunner(build_stages(preset_name, config, **overrides), name=preset_name)
+    preset = get_preset(preset_name)
+    cfg = make_config(preset_name, config, **overrides)
+    return FlowRunner(
+        preset.stage_factory(cfg),
+        name=preset_name,
+        kernel_workers=int(getattr(cfg, "kernel_workers", 0) or 0),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -222,7 +228,7 @@ def _routability_stages(config: Any) -> List[FlowStage]:
     if config.inflate:
         stages.append(
             RoutabilityRepairStage(
-                congestion=config.congestion,
+                congestion=config.congestion_config(),
                 inflation=config.inflation_config(),
                 refine_iterations=config.refine_iterations,
                 placement_config=placement_config,
@@ -230,8 +236,8 @@ def _routability_stages(config: Any) -> List[FlowStage]:
         )
     if config.legalize:
         stages.append(LegalizeStage())
-    stages.append(CongestionStage(config=config.congestion))
-    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion))
+    stages.append(CongestionStage(config=config.congestion_config()))
+    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion_config()))
     return stages
 
 
@@ -261,7 +267,7 @@ def _routability_gp_stages(config: Any) -> List[FlowStage]:
     if config.inflate:
         stages.append(
             RoutabilityRepairStage(
-                congestion=config.congestion,
+                congestion=config.congestion_config(),
                 inflation=config.inflation_config(),
                 refine_iterations=config.refine_iterations,
                 placement_config=placement_config,
@@ -269,8 +275,8 @@ def _routability_gp_stages(config: Any) -> List[FlowStage]:
         )
     if config.legalize:
         stages.append(LegalizeStage())
-    stages.append(CongestionStage(config=config.congestion))
-    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion))
+    stages.append(CongestionStage(config=config.congestion_config()))
+    stages.append(EvaluateStage(corners=config.corners, congestion=config.congestion_config()))
     return stages
 
 

@@ -1,0 +1,34 @@
+"""Shared-memory parallel kernel engine (serial-exact sharded hot paths).
+
+See :mod:`repro.parallel.engine` for the pool and runner interfaces and
+:mod:`repro.parallel.kernels` for the shard kernels and the bit-exactness
+contract they follow.
+"""
+
+from repro.parallel.engine import (
+    KernelPool,
+    KernelPoolError,
+    SerialShardRunner,
+    ShardBlock,
+    get_kernel_pool,
+    get_runner,
+    resolve_worker_count,
+    shutdown_kernel_pools,
+    split_ranges,
+)
+from repro.parallel.kernels import kernel_names, register_kernel, run_kernel
+
+__all__ = [
+    "KernelPool",
+    "KernelPoolError",
+    "SerialShardRunner",
+    "ShardBlock",
+    "get_kernel_pool",
+    "get_runner",
+    "kernel_names",
+    "register_kernel",
+    "resolve_worker_count",
+    "run_kernel",
+    "shutdown_kernel_pools",
+    "split_ranges",
+]

@@ -1,0 +1,221 @@
+"""Shard kernels dispatched by the parallel kernel engine.
+
+A kernel is a named function ``fn(arrays, args) -> result`` where ``arrays``
+is a flat ``{name: ndarray}`` namespace (the union of the shared blocks a
+call was given) and ``args`` is a small picklable tuple — almost always a
+contiguous index range ``(start, end)`` plus a few scalars.  Kernels are
+looked up *by name* so worker processes never unpickle closures: the parent
+sends ``("run", name, ...)`` and the worker resolves the same registry.
+
+Bit-exactness contract
+----------------------
+
+Every kernel here performs only work whose result is independent of the
+shard decomposition:
+
+* elementwise arithmetic (per-pin coordinates, per-cell splat weights) —
+  trivially identical per element;
+* ``min``/``max`` reductions over fixed index sets (net bounding boxes, STA
+  arrival/required candidates) — IEEE min/max is associative and
+  commutative for the NaN-free inputs these paths produce, so any grouping
+  yields the same bits;
+* integer accumulation (pin-density counts) — exact under any summation
+  order.
+
+Order-sensitive floating-point scatter-adds (``np.add.at`` on the RUDY
+corner grid, the cloud-in-cell density deposit) are deliberately **not**
+sharded: workers only produce the per-element indices and values, and the
+parent replays the scatter in the exact serial order.  This is what lets the
+``workers=N`` paths promise bitwise equality with ``workers=0`` instead of
+"equal up to roundoff".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.timing.graph import csr_gather as _csr_gather
+
+__all__ = ["register_kernel", "get_kernel", "run_kernel", "kernel_names"]
+
+Kernel = Callable[[Dict[str, np.ndarray], tuple], object]
+
+_KERNELS: Dict[str, Kernel] = {}
+
+
+def register_kernel(name: str) -> Callable[[Kernel], Kernel]:
+    """Class-level decorator registering ``fn`` under ``name``."""
+
+    def wrap(fn: Kernel) -> Kernel:
+        if name in _KERNELS:
+            raise ValueError(f"kernel {name!r} already registered")
+        _KERNELS[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; known: {sorted(_KERNELS)}") from None
+
+
+def run_kernel(name: str, arrays: Dict[str, np.ndarray], args: tuple) -> object:
+    """Execute one kernel inline (used by workers and the serial runner)."""
+    return get_kernel(name)(arrays, args)
+
+
+def kernel_names() -> tuple:
+    return tuple(sorted(_KERNELS))
+
+
+# ----------------------------------------------------------------------
+# RUDY congestion kernels
+# ----------------------------------------------------------------------
+@register_kernel("rudy_bbox")
+def _rudy_bbox(a: Dict[str, np.ndarray], args: tuple) -> None:
+    """Bounding boxes of active nets ``[s, e)`` from the filtered CSR pins.
+
+    Writes ``bbox_{xmin,xmax,ymin,ymax}[s:e]``.  Per-pin coordinates use the
+    same ``x[pin_instance] + pin_offset`` expression as
+    ``DesignCore.pin_positions`` and the min/max reduction is exact, so the
+    result matches the serial reduction bit for bit.
+    """
+    s, e = args
+    if e <= s:
+        return None
+    offsets = a["active_csr_offsets"]
+    lo = int(offsets[s])
+    hi = int(offsets[e])
+    pins = a["csr_pins"][lo:hi]
+    inst = a["pin_instance"][pins]
+    px = a["x"][inst] + a["pin_offset_x"][pins]
+    py = a["y"][inst] + a["pin_offset_y"][pins]
+    starts = (offsets[s:e] - lo).astype(np.int64)
+    a["bbox_xmin"][s:e] = np.minimum.reduceat(px, starts)
+    a["bbox_xmax"][s:e] = np.maximum.reduceat(px, starts)
+    a["bbox_ymin"][s:e] = np.minimum.reduceat(py, starts)
+    a["bbox_ymax"][s:e] = np.maximum.reduceat(py, starts)
+    return None
+
+
+@register_kernel("pin_bins")
+def _pin_bins(a: Dict[str, np.ndarray], args: tuple) -> np.ndarray:
+    """Integer pin-density counts for pins ``[s, e)`` over the full grid.
+
+    Returns an ``int64`` flat partial grid; partials sum exactly, so the
+    parent's shard-order total equals the serial single-pass ``bincount``.
+    """
+    s, e, nbx, nby, xl, yl, bin_w, bin_h = args
+    inst = a["pin_instance"][s:e]
+    px = a["x"][inst] + a["pin_offset_x"][s:e]
+    py = a["y"][inst] + a["pin_offset_y"][s:e]
+    pu = np.clip(np.floor((px - xl) / bin_w).astype(np.int64), 0, nbx - 1)
+    pv = np.clip(np.floor((py - yl) / bin_h).astype(np.int64), 0, nby - 1)
+    return np.bincount(pu * nby + pv, minlength=nbx * nby)
+
+
+# ----------------------------------------------------------------------
+# STA level-sweep kernels
+# ----------------------------------------------------------------------
+@register_kernel("sta_forward")
+def _sta_forward(a: Dict[str, np.ndarray], args: tuple) -> int:
+    """Arrival times of ``level_pins[s:e]`` (all pins on one logic level).
+
+    Pin-centric form of the serial arc-centric ``np.maximum.at`` sweep:
+    ``arrival[p] = max(base[p], max over fanin candidates)``.  Pins within a
+    level have no arcs between them, writes are disjoint across shards, and
+    ``max`` is exact — bitwise identical under any split of the level.
+    """
+    s, e = args
+    pins = a["level_pins"][s:e]
+    new = a["base_arrival"][pins].copy()
+    flat, lengths = _csr_gather(a["fanin_offsets"], a["fanin_arcs"], pins)
+    if flat.size:
+        nonzero = lengths > 0
+        candidates = a["arrival"][a["arc_from"][flat]] + a["arc_delay"][flat]
+        reduced = np.maximum.reduceat(
+            candidates, np.cumsum(lengths[nonzero]) - lengths[nonzero]
+        )
+        new[nonzero] = np.maximum(new[nonzero], reduced)
+    a["arrival"][pins] = new
+    return int(pins.size)
+
+
+@register_kernel("sta_backward")
+def _sta_backward(a: Dict[str, np.ndarray], args: tuple) -> int:
+    """Required times of ``level_pins[s:e]`` — mirror of ``sta_forward``."""
+    s, e = args
+    pins = a["level_pins"][s:e]
+    new = a["base_required"][pins].copy()
+    flat, lengths = _csr_gather(a["fanout_offsets"], a["fanout_arcs"], pins)
+    if flat.size:
+        nonzero = lengths > 0
+        candidates = a["required"][a["arc_to"][flat]] - a["arc_delay"][flat]
+        reduced = np.minimum.reduceat(
+            candidates, np.cumsum(lengths[nonzero]) - lengths[nonzero]
+        )
+        new[nonzero] = np.minimum(new[nonzero], reduced)
+    a["required"][pins] = new
+    return int(pins.size)
+
+
+# ----------------------------------------------------------------------
+# Density splat kernel
+# ----------------------------------------------------------------------
+@register_kernel("density_terms")
+def _density_terms(a: Dict[str, np.ndarray], args: tuple) -> None:
+    """Cloud-in-cell bin indices and weights for movable cells ``[s, e)``.
+
+    Writes ``iu/iv/iu1/iv1`` and the four corner weights ``w00/w10/w01/w11``
+    (the exact expressions from ``ElectrostaticDensity._splat``); the parent
+    replays the ``np.add.at`` deposits in serial order so the grid matches
+    the serial splat bit for bit.
+    """
+    s, e, xl, yl, bin_w, bin_h, nbx, nby = args
+    mov = a["movable"][s:e]
+    cx = a["x"][mov] + a["half_w"][s:e]
+    cy = a["y"][mov] + a["half_h"][s:e]
+    u = (cx - xl) / bin_w - 0.5
+    v = (cy - yl) / bin_h - 0.5
+    u = np.clip(u, 0.0, nbx - 1.0)
+    v = np.clip(v, 0.0, nby - 1.0)
+    iu = np.floor(u).astype(np.int64)
+    iv = np.floor(v).astype(np.int64)
+    fu = u - iu
+    fv = v - iv
+    area = a["area"][s:e]
+    a["iu"][s:e] = iu
+    a["iv"][s:e] = iv
+    a["iu1"][s:e] = np.minimum(iu + 1, nbx - 1)
+    a["iv1"][s:e] = np.minimum(iv + 1, nby - 1)
+    a["w00"][s:e] = area * (1 - fu) * (1 - fv)
+    a["w10"][s:e] = area * fu * (1 - fv)
+    a["w01"][s:e] = area * (1 - fu) * fv
+    a["w11"][s:e] = area * fu * fv
+    return None
+
+
+# ----------------------------------------------------------------------
+# Self-test kernels (pool plumbing / crash-safety tests)
+# ----------------------------------------------------------------------
+@register_kernel("_selftest_sum")
+def _selftest_sum(a: Dict[str, np.ndarray], args: tuple) -> float:
+    s, e = args
+    return float(np.sum(a["data"][s:e]))
+
+
+@register_kernel("_selftest_scale")
+def _selftest_scale(a: Dict[str, np.ndarray], args: tuple) -> None:
+    s, e, factor = args
+    a["out"][s:e] = a["data"][s:e] * factor
+    return None
+
+
+@register_kernel("_selftest_fail")
+def _selftest_fail(a: Dict[str, np.ndarray], args: tuple) -> None:
+    raise RuntimeError("selftest kernel failure (intentional)")

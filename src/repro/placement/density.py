@@ -29,14 +29,20 @@ from repro.netlist.core import as_core
 
 
 def auto_bin_count(num_movable: int) -> int:
-    """Power-of-two grid size targeting ~4 movable cells per bin, in [16, 256].
+    """Power-of-two grid size targeting ~4 movable cells per bin (>= 16).
 
     Shared by the density model and the congestion estimator so their grids
     stay in correspondence: cells that crowd one density bin are the same
     cells whose nets crowd the matching congestion bins.
+
+    Grows as ``sqrt(num_movable)`` without an upper clamp: the historical
+    cap at 256 bins froze the per-bin cell count at XL sizes (a 1M-cell
+    design would average ~15 cells/bin and smear every local hotspot).
+    Values at the existing benchmark tiers (< ~300k cells) are unchanged,
+    which keeps the small-design goldens bit-exact.
     """
     cells = max(int(num_movable), 1)
-    return int(2 ** np.clip(np.round(np.log2(np.sqrt(cells / 4.0))), 4, 8))
+    return int(2 ** max(int(np.round(np.log2(np.sqrt(cells / 4.0)))), 4))
 
 
 @dataclass
@@ -60,6 +66,8 @@ class ElectrostaticDensity:
         num_bins_x: Optional[int] = None,
         num_bins_y: Optional[int] = None,
         target_density: float = 1.0,
+        workers: int = 0,
+        runner=None,
     ) -> None:
         arrays = as_core(design)
         self.core = arrays
@@ -81,6 +89,15 @@ class ElectrostaticDensity:
         self._half_w = arrays.inst_width[self._movable] * 0.5
         self._half_h = arrays.inst_height[self._movable] * 0.5
         self._total_movable_area = float(self._area.sum())
+
+        # Parallel splat sharding (repro.parallel); workers=0 keeps the
+        # serial path.  ``_terms_dirty`` tracks when the per-cell geometry
+        # arrays in the shared block need a rewrite (area inflation).
+        self.workers = int(workers)
+        self._runner = runner
+        self._runner_resolved = runner is not None
+        self._block = None
+        self._terms_dirty = True
 
         # Precompute DCT frequencies for the Poisson solve.
         wx = np.pi * np.arange(self.num_bins_x) / self.num_bins_x / self.bin_w
@@ -117,10 +134,84 @@ class ElectrostaticDensity:
         self._half_w = arrays.inst_width[self._movable] * 0.5 * side
         self._half_h = arrays.inst_height[self._movable] * 0.5 * side
         self._total_movable_area = float(self._area.sum())
+        self._terms_dirty = True
 
     # ------------------------------------------------------------------
+    def _get_runner(self):
+        if not self._runner_resolved:
+            self._runner_resolved = True
+            if self.workers > 0:
+                from repro.parallel import get_runner
+
+                self._runner = get_runner(self.workers)
+        return self._runner
+
+    def _ensure_block(self, runner):
+        if self._block is not None:
+            return self._block
+        arrays = self.core
+        num_movable = self._movable.size
+        self._block = runner.register(
+            {
+                "movable": self._movable,
+                # Mutable per-call inputs.
+                "x": np.zeros(arrays.num_instances, dtype=np.float64),
+                "y": np.zeros(arrays.num_instances, dtype=np.float64),
+                "area": np.zeros(num_movable, dtype=np.float64),
+                "half_w": np.zeros(num_movable, dtype=np.float64),
+                "half_h": np.zeros(num_movable, dtype=np.float64),
+                # Worker outputs: bin indices + corner weights per cell.
+                "iu": np.zeros(num_movable, dtype=np.int64),
+                "iv": np.zeros(num_movable, dtype=np.int64),
+                "iu1": np.zeros(num_movable, dtype=np.int64),
+                "iv1": np.zeros(num_movable, dtype=np.int64),
+                "w00": np.zeros(num_movable, dtype=np.float64),
+                "w10": np.zeros(num_movable, dtype=np.float64),
+                "w01": np.zeros(num_movable, dtype=np.float64),
+                "w11": np.zeros(num_movable, dtype=np.float64),
+            }
+        )
+        self._terms_dirty = True
+        import weakref
+
+        from repro.route.rudy import _release_block
+
+        weakref.finalize(self, _release_block, runner, self._block)
+        return self._block
+
+    def _splat_parallel(self, runner, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sharded splat: workers compute per-cell indices/weights, the
+        parent replays the four ``np.add.at`` deposits in serial cell order —
+        bitwise identical to the serial splat."""
+        from repro.parallel.engine import split_ranges
+
+        die = self.core.die
+        block = self._ensure_block(runner)
+        views = block.views
+        views["x"][...] = x
+        views["y"][...] = y
+        if self._terms_dirty:
+            views["area"][...] = self._area
+            views["half_w"][...] = self._half_w
+            views["half_h"][...] = self._half_h
+            self._terms_dirty = False
+        args = (die.xl, die.yl, self.bin_w, self.bin_h, self.num_bins_x, self.num_bins_y)
+        tasks = [
+            (s, e, *args) for s, e in split_ranges(self._movable.size, runner.workers)
+        ]
+        runner.run("density_terms", [block], tasks)
+        density = np.zeros((self.num_bins_x, self.num_bins_y), dtype=np.float64)
+        np.add.at(density, (views["iu"], views["iv"]), views["w00"])
+        np.add.at(density, (views["iu1"], views["iv"]), views["w10"])
+        np.add.at(density, (views["iu"], views["iv1"]), views["w01"])
+        np.add.at(density, (views["iu1"], views["iv1"]), views["w11"])
+        return density
+
     def _splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Cloud-in-cell deposition of movable cell areas onto the bin grid."""
+        runner = self._get_runner()
+        if runner is not None and self._movable.size:
+            return self._splat_parallel(runner, x, y)
         die = self.core.die
         cx = x[self._movable] + self._half_w
         cy = y[self._movable] + self._half_h

@@ -62,6 +62,9 @@ class PlacementConfig:
     seed: int = 0
     verbose: bool = False
     log_every: int = 50
+    # Kernel-pool workers for the density splat (0 = serial; see
+    # repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
 
 
 @dataclass
@@ -113,6 +116,7 @@ class GlobalPlacer:
             num_bins_x=self.config.num_bins_x,
             num_bins_y=self.config.num_bins_y,
             target_density=self.config.target_density,
+            workers=self.config.kernel_workers,
         )
         self.objective = PlacementObjective()
         self.net_weights = np.ones(arrays.num_nets, dtype=np.float64)

@@ -59,6 +59,9 @@ class RoutabilityConfig:
     target_density: float = 1.0
     seed: int = 0
     verbose: bool = False
+    # Kernel-pool workers for the density / congestion / STA hot paths
+    # (0 = serial; see repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
     # Inflation loop.  The flat fields exist so ``--set`` style overrides can
     # address the common knobs; ``None`` means "defer to self.inflation",
     # so an explicitly provided InflationConfig is honored in full.
@@ -82,7 +85,18 @@ class RoutabilityConfig:
             target_density=self.target_density,
             seed=self.seed,
             verbose=self.verbose,
+            kernel_workers=self.kernel_workers,
         )
+
+    def congestion_config(self) -> CongestionConfig:
+        """The congestion sub-config with ``kernel_workers`` threaded in.
+
+        An explicit ``congestion.workers`` wins; the flat ``kernel_workers``
+        knob only fills the default so one CLI flag drives every hot path.
+        """
+        if self.kernel_workers and not self.congestion.workers:
+            return dataclasses.replace(self.congestion, workers=self.kernel_workers)
+        return self.congestion
 
     def inflation_config(self) -> InflationConfig:
         """The sub-config with any flat-field overrides applied on top."""
@@ -117,6 +131,9 @@ class RoutabilityGPConfig:
     target_density: float = 1.0
     seed: int = 0
     verbose: bool = False
+    # Kernel-pool workers for the density / congestion / STA hot paths
+    # (0 = serial; see repro.parallel for the bit-exactness guarantee).
+    kernel_workers: int = 0
     # Congestion net weighting: cadence (warmup / every-K / cooldown) and
     # proposal shape.
     congestion_start: int = 100
@@ -159,7 +176,18 @@ class RoutabilityGPConfig:
             target_density=self.target_density,
             seed=self.seed,
             verbose=self.verbose,
+            kernel_workers=self.kernel_workers,
         )
+
+    def congestion_config(self) -> CongestionConfig:
+        """The congestion sub-config with ``kernel_workers`` threaded in.
+
+        An explicit ``congestion.workers`` wins; the flat ``kernel_workers``
+        knob only fills the default so one CLI flag drives every hot path.
+        """
+        if self.kernel_workers and not self.congestion.workers:
+            return dataclasses.replace(self.congestion, workers=self.kernel_workers)
+        return self.congestion
 
     def inflation_config(self) -> InflationConfig:
         overrides = {
@@ -191,7 +219,7 @@ class RoutabilityGPConfig:
         slots: List[tuple] = [
             (
                 CongestionNetWeighting(
-                    self.congestion,
+                    self.congestion_config(),
                     max_boost=self.congestion_max_boost,
                     saturation_overflow=self.congestion_saturation,
                 ),

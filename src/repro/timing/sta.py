@@ -131,11 +131,28 @@ class _LevelWorklist:
         fresh = pins[~self.seen[pins]]
         if fresh.size == 0:
             return
-        fresh = np.unique(fresh)
-        self.seen[fresh] = True
+        # Single grouping pass: one stable sort on the composite
+        # (level, pin) key dedupes and orders simultaneously, replacing the
+        # ``np.unique`` + per-level boolean-mask loop (which rescanned the
+        # whole fresh set once per distinct level).  Buckets come out
+        # identical: levels ascending, pins sorted and unique within each.
         levels = self.level[fresh]
-        for lvl in np.unique(levels):
-            self.pending.setdefault(int(lvl), []).append(fresh[levels == lvl])
+        key = levels * np.int64(self.seen.size) + fresh
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        keep = np.empty(key.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(key[1:], key[:-1], out=keep[1:])
+        fresh = fresh[order[keep]]
+        levels = levels[order[keep]]
+        self.seen[fresh] = True
+        boundary = np.empty(levels.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(levels[1:], levels[:-1], out=boundary[1:])
+        starts = np.nonzero(boundary)[0]
+        ends = np.append(starts[1:], levels.size)
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            self.pending.setdefault(int(levels[s]), []).append(fresh[s:e])
 
     def pop(self, lvl: int) -> Optional[np.ndarray]:
         chunks = self.pending.pop(lvl, None)
@@ -230,6 +247,9 @@ class STAEngine:
         incremental: bool = False,
         move_tolerance: float = 0.0,
         incremental_rebuild_fraction: float = 0.5,
+        workers: int = 0,
+        parallel_min_level_size: int = 2048,
+        runner=None,
     ) -> None:
         self.design = design
         self.corner = corner
@@ -249,6 +269,18 @@ class STAEngine:
         self.incremental = incremental
         self.move_tolerance = float(move_tolerance)
         self.incremental_rebuild_fraction = float(incremental_rebuild_fraction)
+        # Parallel full-sweep sharding (see repro.parallel): with workers=0
+        # and no injected runner the historical serial propagation runs
+        # untouched.  Levels narrower than ``parallel_min_level_size`` are
+        # swept inline — the per-level dispatch round trip only pays for
+        # itself on wide levels.
+        self.workers = int(workers)
+        self.parallel_min_level_size = max(1, int(parallel_min_level_size))
+        self._runner = runner
+        self._runner_resolved = runner is not None
+        self._pool_block = None
+        self._level_pins: Optional[np.ndarray] = None
+        self._level_pin_offsets: Optional[np.ndarray] = None
         self._prepare_boundary_conditions()
         self._prepare_level_buckets()
         self._prepare_propagation_bases()
@@ -580,6 +612,9 @@ class STAEngine:
         )
 
     def _propagate_arrival(self, arc_delay: np.ndarray) -> np.ndarray:
+        runner = self._get_runner()
+        if runner is not None and self.graph.num_arcs:
+            return self._propagate_parallel(runner, arc_delay, forward=True)
         graph = self.graph
         arrival = self._base_arrival.copy()
         for bucket in self._forward_buckets:
@@ -590,6 +625,9 @@ class STAEngine:
         return arrival
 
     def _propagate_required(self, arc_delay: np.ndarray, arrival: np.ndarray) -> np.ndarray:
+        runner = self._get_runner()
+        if runner is not None and self.graph.num_arcs:
+            return self._propagate_parallel(runner, arc_delay, forward=False)
         graph = self.graph
         required = self._base_required.copy()
         for bucket in self._backward_buckets:
@@ -598,6 +636,109 @@ class STAEngine:
             candidate = required[graph.arc_to[bucket]] - arc_delay[bucket]
             np.minimum.at(required, graph.arc_from[bucket], candidate)
         return required
+
+    # ------------------------------------------------------------------
+    # Parallel full sweeps (repro.parallel)
+    # ------------------------------------------------------------------
+    def _get_runner(self):
+        if not self._runner_resolved:
+            self._runner_resolved = True
+            if self.workers > 0:
+                from repro.parallel import get_runner
+
+                self._runner = get_runner(self.workers)
+        return self._runner
+
+    def _prepare_level_pins(self) -> None:
+        """Pins grouped by logic level: one stable sort, CSR-style offsets."""
+        level = self.graph.level
+        self._level_pins = np.argsort(level, kind="stable").astype(np.int64)
+        counts = np.bincount(level, minlength=self.graph.max_level + 1)
+        self._level_pin_offsets = np.concatenate(([0], np.cumsum(counts))).astype(
+            np.int64
+        )
+
+    def _ensure_pool_block(self, runner):
+        if self._pool_block is not None:
+            return self._pool_block
+        if self._level_pins is None:
+            self._prepare_level_pins()
+        graph = self.graph
+        self._pool_block = runner.register(
+            {
+                # Static graph structure.
+                "level_pins": self._level_pins,
+                "fanin_offsets": graph.fanin_offsets,
+                "fanin_arcs": graph.fanin_arcs,
+                "fanout_offsets": graph.fanout_offsets,
+                "fanout_arcs": graph.fanout_arcs,
+                "arc_from": graph.arc_from,
+                "arc_to": graph.arc_to,
+                # Per-sweep state, rewritten by the parent before dispatch
+                # (bases change with constraints, delays with positions).
+                "base_arrival": np.zeros(graph.num_pins, dtype=np.float64),
+                "base_required": np.zeros(graph.num_pins, dtype=np.float64),
+                "arc_delay": np.zeros(graph.num_arcs, dtype=np.float64),
+                "arrival": np.zeros(graph.num_pins, dtype=np.float64),
+                "required": np.zeros(graph.num_pins, dtype=np.float64),
+            }
+        )
+        import weakref
+
+        from repro.route.rudy import _release_block
+
+        weakref.finalize(self, _release_block, runner, self._pool_block)
+        return self._pool_block
+
+    def _propagate_parallel(
+        self, runner, arc_delay: np.ndarray, *, forward: bool
+    ) -> np.ndarray:
+        """Level-synchronous sharded sweep.
+
+        Pins within a level are independent, so each level's pin bucket is
+        split into contiguous shards whose pin-centric max/min reductions
+        (``sta_forward``/``sta_backward`` kernels) write disjoint slices of
+        the shared state — bitwise identical to the serial arc-centric
+        ``np.maximum.at``/``np.minimum.at`` sweep for any shard count.
+        """
+        from repro.parallel import kernels as _parallel_kernels
+        from repro.parallel.engine import split_ranges
+
+        block = self._ensure_pool_block(runner)
+        views = block.views
+        views["arc_delay"][...] = arc_delay
+        if forward:
+            kernel = "sta_forward"
+            views["base_arrival"][...] = self._base_arrival
+            views["arrival"][...] = self._base_arrival
+            state = views["arrival"]
+            levels = range(1, self.graph.max_level + 1)
+        else:
+            kernel = "sta_backward"
+            views["base_required"][...] = self._base_required
+            views["required"][...] = self._base_required
+            state = views["required"]
+            levels = range(self.graph.max_level - 1, -1, -1)
+
+        offsets = self._level_pin_offsets
+        threshold = self.parallel_min_level_size
+        for lvl in levels:
+            start = int(offsets[lvl])
+            end = int(offsets[lvl + 1])
+            width = end - start
+            if width == 0:
+                continue
+            if width < threshold or runner.workers <= 1:
+                # Narrow level: sweep inline on the shared views (same
+                # kernel, same arithmetic — only the transport differs).
+                _parallel_kernels.run_kernel(kernel, views, (start, end))
+            else:
+                tasks = [
+                    (start + a, start + b) for a, b in split_ranges(width, runner.workers)
+                ]
+                runner.run(kernel, [block], tasks)
+        # Private copy: the shared view is rewritten by the next sweep.
+        return state.copy()
 
     # ------------------------------------------------------------------
     # Convenience metrics
