@@ -51,6 +51,7 @@ import numpy as np
 from repro.benchgen.suite import load_benchmark
 from repro.feedback import CongestionNetWeighting, FeedbackCadence
 from repro.netlist.compiled import compile_design
+from repro.netlist.core import as_core
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.route.rudy import CongestionEstimator
 from repro.timing.mcmm import MultiCornerSTA
@@ -64,6 +65,10 @@ DEFAULT_DESIGNS = ["sb_mini_18", "sb_mini_1", "sb_mini_10", "sb_cong_1"]
 # like any other row (see bench_trend.py).
 XL_DESIGNS = ["sb_xl_1", "sb_xl_2"]
 XL_WORKER_COUNTS = (2, 4)
+# Fixed-length GP run for the XL per-iteration rows: long enough to
+# amortize the first-iteration setup (scatter plans, arena warm-up), short
+# enough to stay time-boxed at full scale.
+GP_XL_ITERS = 10
 MCMM_CORNER_COUNTS = (1, 2, 4)
 # Congestion-weighted GP overhead measurement: fixed-length runs (stop
 # criterion disabled so both configurations execute exactly GP_ITERATIONS
@@ -275,6 +280,54 @@ def bench_xl_design(name: str, *, scale: float = 1.0) -> dict:
             )
         row[f"density_splat_w{workers}_ms"] = round(seconds * 1e3, 3)
         row[f"density_splat_speedup_w{workers}"] = round(serial_seconds / seconds, 3)
+
+    # Global-place iteration wall: fixed-length runs through the plan-based
+    # serial path, the legacy pre-plan inner loop (forced via the kept
+    # _reference_* helpers: full-size wirelength scatters, four-add.at
+    # density splat, and the per-net-fallback HPWL bookkeeping pass), and
+    # the kernel-pool sharded path.  Every variant's final positions are
+    # bitwise-compared against the serial plan run (the GP inner loop's
+    # bit-exactness contract).
+    def gp_run(*, workers: int = 0, legacy: bool = False):
+        config = PlacementConfig(
+            max_iterations=GP_XL_ITERS,
+            min_iterations=GP_XL_ITERS,
+            stop_overflow=0.0,
+            seed=0,
+            kernel_workers=workers,
+        )
+        placer = GlobalPlacer(design, config)
+        if legacy:
+            placer.wirelength.evaluate = placer.wirelength._reference_evaluate
+            placer.density._splat = placer.density._reference_splat
+            core = as_core(design)
+            core.hpwl_per_net = core._reference_hpwl_per_net
+            try:
+                return placer.run()
+            finally:
+                del core.hpwl_per_net
+        return placer.run()
+
+    row["gp_iters"] = GP_XL_ITERS
+    plan_seconds, plan_result = _time(lambda: gp_run(), repeat=1)
+    row["gp_iter_ms"] = round(plan_seconds / GP_XL_ITERS * 1e3, 3)
+    legacy_seconds, legacy_result = _time(lambda: gp_run(legacy=True), repeat=1)
+    row["gp_iter_legacy_ms"] = round(legacy_seconds / GP_XL_ITERS * 1e3, 3)
+    row["gp_plan_speedup"] = round(legacy_seconds / plan_seconds, 3)
+    if not (
+        np.array_equal(plan_result.x, legacy_result.x)
+        and np.array_equal(plan_result.y, legacy_result.y)
+    ):
+        raise AssertionError(f"{name}: plan-based GP differs from legacy path")
+    for workers in XL_WORKER_COUNTS:
+        seconds, result = _time(lambda: gp_run(workers=workers), repeat=1)
+        if not (
+            np.array_equal(result.x, plan_result.x)
+            and np.array_equal(result.y, plan_result.y)
+        ):
+            raise AssertionError(f"{name}: {workers}-worker GP differs from serial")
+        row[f"gp_iter_w{workers}_ms"] = round(seconds / GP_XL_ITERS * 1e3, 3)
+        row[f"gp_iter_speedup_w{workers}"] = round(plan_seconds / seconds, 3)
 
     shutdown_kernel_pools()
     return row
@@ -497,7 +550,8 @@ def main(argv=None) -> int:
     if xl_rows:
         xl_header = (
             f"{'xl design':<12} {'cells':>8} {'build':>8} {'rudy s/2/4':>22} "
-            f"{'sta s/2/4':>22} {'splat s/2/4':>22} {'x4 rudy':>8} {'x4 sta':>7}"
+            f"{'sta s/2/4':>22} {'splat s/2/4':>22} {'gp it p/l/2/4':>24} "
+            f"{'gp x':>6}"
         )
         print(xl_header)
         for row in xl_rows:
@@ -513,11 +567,14 @@ def main(argv=None) -> int:
                 f"{row[key]:.0f}"
                 for key in ("density_splat_ms", "density_splat_w2_ms", "density_splat_w4_ms")
             )
+            gp = "/".join(
+                f"{row[key]:.0f}"
+                for key in ("gp_iter_ms", "gp_iter_legacy_ms", "gp_iter_w2_ms", "gp_iter_w4_ms")
+            )
             print(
                 f"{row['design']:<12} {row['num_instances']:>8} "
                 f"{row['build_ms']:>7.0f}m {rudy:>21}m {sta:>21}m {splat:>21}m "
-                f"{row['congestion_map_speedup_w4']:>7.2f}x "
-                f"{row['sta_full_speedup_w4']:>6.2f}x"
+                f"{gp:>23}m {row['gp_plan_speedup']:>5.2f}x"
             )
         print()
 

@@ -51,11 +51,14 @@ GATED_FIELDS = (
 XL_GATED_FIELDS = (
     "congestion_map_ms",
     "sta_full_ms",
+    "gp_iter_ms",
 )
 XL_INFO_FIELDS = (
     "congestion_map_speedup_w4",
     "sta_full_speedup_w4",
     "density_splat_speedup_w4",
+    "gp_plan_speedup",
+    "gp_iter_speedup_w4",
 )
 # Below this, best-of-N timings are scheduler noise and a relative gate flakes.
 ABS_FLOOR_MS = 0.5
@@ -113,6 +116,16 @@ def diff(baseline: dict, fresh: dict, *, tolerance: float, enforce: bool) -> int
         base_row = baseline.get("xl_rows", {}).get(design)
         if base_row is None:
             print(f"{design:<12} (no XL baseline row; skipped)")
+            continue
+        if base_row.get("scale") != fresh_row.get("scale"):
+            # A reduced-scale smoke run (CI's --xl-scale 0.1) measures a
+            # different workload than the committed full-scale rows; an
+            # absolute-time diff would be meaningless.
+            print(
+                f"{design:<12} (scale mismatch: baseline "
+                f"{base_row.get('scale')} vs fresh {fresh_row.get('scale')}; "
+                "skipped)"
+            )
             continue
         diff_row(design, base_row, fresh_row, XL_GATED_FIELDS)
         for field in XL_INFO_FIELDS:

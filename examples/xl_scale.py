@@ -3,8 +3,9 @@
 
 Runs one XL benchmark (``sb_xl_1``, 100k cells at full scale) end-to-end
 through the ``dreamplace`` preset with ``--kernel-workers`` sharding the
-density splat across pool workers, then builds a congestion map and a full
-STA pass — the two other pooled hot paths — and prints the walls.
+density splat and the WA-wirelength gradient across pool workers, then
+times the GP inner loop (plan vs legacy vs pooled), a congestion map, and
+a full STA pass — the other pooled hot paths — and prints the walls.
 
 The kernel pool's contract is *bit-exactness*: any ``--kernel-workers``
 value (including 0, the serial default) produces the same placement, the
@@ -71,6 +72,64 @@ def main() -> None:
         print(f"  {key}: {value}")
 
     x, y = design.positions()
+
+    # GP-iteration wall: plan-based serial gradient vs the kept legacy
+    # (_reference_*) inner loop vs the pooled wa_wirelength kernel, each
+    # re-run over a short fixed-length placement and bitwise-compared.
+    from repro.netlist.core import as_core
+    from repro.placement.global_placer import GlobalPlacer, PlacementConfig
+
+    gp_iters = min(args.iterations, 10)
+
+    def gp_run(workers=0, legacy=False):
+        config = PlacementConfig(
+            max_iterations=gp_iters,
+            min_iterations=gp_iters,
+            stop_overflow=0.0,
+            seed=0,
+            kernel_workers=workers,
+        )
+        placer = GlobalPlacer(design, config)
+        if legacy:
+            placer.wirelength.evaluate = placer.wirelength._reference_evaluate
+            placer.density._splat = placer.density._reference_splat
+            core = as_core(design)
+            core.hpwl_per_net = core._reference_hpwl_per_net
+            try:
+                return placer.run()
+            finally:
+                del core.hpwl_per_net
+        return placer.run()
+
+    t0 = time.perf_counter()
+    gp_plan = gp_run()
+    plan_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    gp_legacy = gp_run(legacy=True)
+    legacy_wall = time.perf_counter() - t0
+    exact = np.array_equal(gp_plan.x, gp_legacy.x) and np.array_equal(
+        gp_plan.y, gp_legacy.y
+    )
+    print(
+        f"GP iteration ({gp_iters} iters): "
+        f"{plan_wall / gp_iters * 1e3:.1f}ms plan vs "
+        f"{legacy_wall / gp_iters * 1e3:.1f}ms legacy; bitwise equal: {exact}"
+    )
+    if not exact:
+        raise SystemExit("plan-based GP inner loop diverged from legacy")
+    if args.kernel_workers > 0:
+        t0 = time.perf_counter()
+        gp_pooled = gp_run(workers=args.kernel_workers)
+        pooled_wall = time.perf_counter() - t0
+        exact = np.array_equal(gp_plan.x, gp_pooled.x) and np.array_equal(
+            gp_plan.y, gp_pooled.y
+        )
+        print(
+            f"GP iteration ({args.kernel_workers} workers): "
+            f"{pooled_wall / gp_iters * 1e3:.1f}ms; bitwise equal: {exact}"
+        )
+        if not exact:
+            raise SystemExit("kernel-pool GP inner loop diverged from serial")
 
     # Congestion map: pooled vs serial, bitwise.
     t0 = time.perf_counter()

@@ -51,6 +51,9 @@ class DifferentiableTDPConfig:
     # Kernel-pool workers for the density / congestion / STA hot paths
     # (0 = serial; see repro.parallel for the bit-exactness guarantee).
     kernel_workers: int = 0
+    # Record placement history every N iterations (1 = every iteration;
+    # the optimization trajectory is bitwise unaffected).
+    history_every: int = 1
 
     def placement_config(self) -> PlacementConfig:
         return PlacementConfig(
@@ -61,6 +64,7 @@ class DifferentiableTDPConfig:
             seed=self.seed,
             verbose=self.verbose,
             kernel_workers=self.kernel_workers,
+            history_every=self.history_every,
         )
 
 

@@ -50,6 +50,9 @@ class DreamPlace4Config:
     # Kernel-pool workers for the density / congestion / STA hot paths
     # (0 = serial; see repro.parallel for the bit-exactness guarantee).
     kernel_workers: int = 0
+    # Record placement history every N iterations (1 = every iteration;
+    # the optimization trajectory is bitwise unaffected).
+    history_every: int = 1
 
     def placement_config(self) -> PlacementConfig:
         return PlacementConfig(
@@ -60,6 +63,7 @@ class DreamPlace4Config:
             seed=self.seed,
             verbose=self.verbose,
             kernel_workers=self.kernel_workers,
+            history_every=self.history_every,
         )
 
 

@@ -347,6 +347,14 @@ def _profile_payload(
             "calls": dict(feedback["calls"]),
             "updates": len(feedback.get("trajectory", [])),
         }
+    gradient = result.context.metadata.get("gradient_terms")
+    if gradient:
+        # Per-term gradient breakdown (wirelength/density/extra/scatter
+        # seconds inside the placer's gradient evaluations) so regressions
+        # in any one term stay attributable.
+        payload["gradient_terms"] = {
+            name: round(seconds, 6) for name, seconds in gradient.items()
+        }
     return payload
 
 

@@ -515,6 +515,11 @@ class GlobalPlaceStage:
         ctx.history = placement.history
         ctx.x = placement.x
         ctx.y = placement.y
+        # Per-term gradient walls (wirelength/density/extra/scatter) for the
+        # --profile report; accumulated across refine placements too.
+        terms = ctx.metadata.setdefault("gradient_terms", {})
+        for name, seconds in placer.gradient_seconds.items():
+            terms[name] = terms.get(name, 0.0) + seconds
 
 
 @register_stage("legalize")
@@ -640,6 +645,9 @@ class RoutabilityRepairStage:
             for hook in ctx.placer_hooks:
                 hook(placer, ctx)
             result = placer.run(x0, y0)
+            terms = ctx.metadata.setdefault("gradient_terms", {})
+            for name, seconds in placer.gradient_seconds.items():
+                terms[name] = terms.get(name, 0.0) + seconds
             return result.x, result.y
 
         def legalize_fn(lx: np.ndarray, ly: np.ndarray):

@@ -175,6 +175,7 @@ class DesignCore:
         self._rows_cache_key: Optional[Tuple[float, ...]] = None
         self._csr_net: Optional[np.ndarray] = None
         self._net_driver_pin: Optional[np.ndarray] = None
+        self._hpwl_plan: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -327,13 +328,94 @@ class DesignCore:
     # ------------------------------------------------------------------
     # Geometry kernels
     # ------------------------------------------------------------------
+    def _hpwl_scatter_plan(self) -> Tuple[np.ndarray, ...]:
+        """Cached scatter plan for :meth:`hpwl_per_net` (topology-only).
+
+        ``valid_ids`` are the nets with at least two pins; ``pins`` is the
+        valid subset of ``net_pin_index`` (net-contiguous, because the CSR
+        expansion is net-major); ``seg`` maps each such pin to its compact
+        valid-net id.  ``legacy_clean`` records which valid nets the old
+        ``reduceat``-over-raw-offsets formulation could evaluate without its
+        per-net fallback — the two code paths grouped the four extrema
+        differently (``((xmax-xmin)+ymax)-ymin`` vs
+        ``(xmax-xmin)+(ymax-ymin)``), and the vectorized pass replays that
+        split so per-net values stay bitwise-stable across the rewrite.
+        """
+        if self._hpwl_plan is None:
+            offsets = self.net_pin_offsets
+            counts = np.diff(offsets)
+            valid_ids = np.nonzero(counts >= 2)[0]
+            pins = self.net_pin_index[counts[self.csr_net] >= 2]
+            seg = np.repeat(
+                np.arange(valid_ids.size, dtype=np.int64), counts[valid_ids]
+            )
+            starts = offsets[:-1][valid_ids]
+            spans = np.append(starts[1:], self.net_pin_index.size) - starts
+            legacy_clean = spans == counts[valid_ids]
+            self._hpwl_plan = (valid_ids, pins, seg, legacy_clean)
+        return self._hpwl_plan
+
     def hpwl_per_net(
         self,
         x: Optional[np.ndarray] = None,
         y: Optional[np.ndarray] = None,
+        *,
+        pin_x: Optional[np.ndarray] = None,
+        pin_y: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Exact HPWL of every net in one vectorized pass (0 for degenerate nets)."""
-        pin_x, pin_y = self.pin_positions(x, y)
+        """Exact HPWL of every net in one vectorized pass (0 for degenerate nets).
+
+        ``pin_x``/``pin_y`` may carry precomputed absolute pin coordinates to
+        skip the gather (the placer shares one gather per iteration).
+
+        Per-net extrema run through ``np.maximum.at``/``np.minimum.at`` over
+        the compact valid-net segments of the cached scatter plan — min/max
+        folds are order-independent in IEEE arithmetic, so every net's value
+        is bitwise identical to :meth:`_reference_hpwl_per_net`, without that
+        path's Python-level fallback loop over nets that share a ``reduceat``
+        span with a degenerate neighbour.
+        """
+        if pin_x is None or pin_y is None:
+            pin_x, pin_y = self.pin_positions(x, y)
+        result = np.zeros(self.num_nets, dtype=np.float64)
+        valid_ids, pins, seg, legacy_clean = self._hpwl_scatter_plan()
+        if valid_ids.size == 0:
+            return result
+        vx = pin_x[pins]
+        vy = pin_y[pins]
+        num_valid = valid_ids.size
+        xmax = np.full(num_valid, -np.inf)
+        xmin = np.full(num_valid, np.inf)
+        ymax = np.full(num_valid, -np.inf)
+        ymin = np.full(num_valid, np.inf)
+        np.maximum.at(xmax, seg, vx)
+        np.minimum.at(xmin, seg, vx)
+        np.maximum.at(ymax, seg, vy)
+        np.minimum.at(ymin, seg, vy)
+        # Replay the historical grouping split (see _hpwl_scatter_plan).
+        result[valid_ids] = np.where(
+            legacy_clean,
+            xmax - xmin + ymax - ymin,
+            (xmax - xmin) + (ymax - ymin),
+        )
+        return result
+
+    def _reference_hpwl_per_net(
+        self,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        *,
+        pin_x: Optional[np.ndarray] = None,
+        pin_y: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pre-plan HPWL pass (kept for bitwise property tests and benches).
+
+        ``reduceat`` over the raw CSR offsets, plus a per-net Python fallback
+        for every valid net whose segment spans a degenerate neighbour — that
+        loop is the cost the planned :meth:`hpwl_per_net` removes.
+        """
+        if pin_x is None or pin_y is None:
+            pin_x, pin_y = self.pin_positions(x, y)
         num_nets = self.num_nets
         result = np.zeros(num_nets, dtype=np.float64)
         offsets = self.net_pin_offsets
@@ -370,9 +452,11 @@ class DesignCore:
         y: Optional[np.ndarray] = None,
         *,
         net_weights: Optional[np.ndarray] = None,
+        pin_x: Optional[np.ndarray] = None,
+        pin_y: Optional[np.ndarray] = None,
     ) -> float:
         """Total (optionally net-weighted) HPWL at positions ``(x, y)``."""
-        per_net = self.hpwl_per_net(x, y)
+        per_net = self.hpwl_per_net(x, y, pin_x=pin_x, pin_y=pin_y)
         if net_weights is not None:
             per_net = per_net * net_weights
         return float(per_net.sum())

@@ -20,7 +20,11 @@ shard decomposition:
   commutative for the NaN-free inputs these paths produce, so any grouping
   yields the same bits;
 * integer accumulation (pin-density counts) — exact under any summation
-  order.
+  order;
+* per-net sequential folds over *whole* nets (the WA-wirelength
+  ``np.bincount`` sums) — every net lives entirely inside one shard, so
+  each per-net fold sees the same addends in the same order as the serial
+  single-pass ``bincount``.
 
 Order-sensitive floating-point scatter-adds (``np.add.at`` on the RUDY
 corner grid, the cloud-in-cell density deposit) are deliberately **not**
@@ -197,6 +201,57 @@ def _density_terms(a: Dict[str, np.ndarray], args: tuple) -> None:
     a["w10"][s:e] = area * fu * (1 - fv)
     a["w01"][s:e] = area * (1 - fu) * fv
     a["w11"][s:e] = area * fu * fv
+    return None
+
+
+# ----------------------------------------------------------------------
+# WA wirelength kernel
+# ----------------------------------------------------------------------
+@register_kernel("wa_wirelength")
+def _wa_wirelength(a: Dict[str, np.ndarray], args: tuple) -> None:
+    """WA values and pin gradients for valid nets ``[s, e)`` (both axes).
+
+    ``[lo, hi)`` is the matching filtered-CSR pin range (nets are whole, so
+    shard boundaries never split a net).  Writes ``per_net_{x,y}[s:e]`` and
+    ``pin_grad_{x,y}[lo:hi]``; the parent replays the value sum and the
+    pin→instance scatter in canonical order.  All per-net reductions here
+    (``reduceat`` extrema, ``bincount`` folds) see exactly the pins the
+    serial plan path feeds them, in the same order — bitwise identical for
+    any worker count.
+    """
+    s, e, lo, hi, gamma = args
+    if e <= s:
+        return None
+    seg = a["seg_id"][lo:hi] - s
+    starts = (a["seg_starts"][s:e] - lo).astype(np.int64)
+    pinst = a["pinst"][lo:hi]
+    net_w = a["net_w"][s:e]
+    num_local = e - s
+    for axis in ("x", "y"):
+        c = a[axis][pinst] + a[f"off_{axis}"][lo:hi]
+        cmax = np.maximum.reduceat(c, starts)
+        cmin = np.minimum.reduceat(c, starts)
+        exp_pos = np.exp((c - cmax[seg]) / gamma)
+        exp_neg = np.exp((cmin[seg] - c) / gamma)
+        sum_pos = np.bincount(seg, weights=exp_pos, minlength=num_local)
+        sum_neg = np.bincount(seg, weights=exp_neg, minlength=num_local)
+        sum_cpos = np.bincount(seg, weights=c * exp_pos, minlength=num_local)
+        sum_cneg = np.bincount(seg, weights=c * exp_neg, minlength=num_local)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            wa_max = np.where(sum_pos > 0, sum_cpos / np.maximum(sum_pos, 1e-300), 0.0)
+            wa_min = np.where(sum_neg > 0, sum_cneg / np.maximum(sum_neg, 1e-300), 0.0)
+        a[f"per_net_{axis}"][s:e] = wa_max - wa_min
+        sp = sum_pos[seg]
+        sn = sum_neg[seg]
+        scp = sum_cpos[seg]
+        scn = sum_cneg[seg]
+        grad_max = (
+            exp_pos * ((1.0 + c / gamma) * sp - scp / gamma) / np.maximum(sp * sp, 1e-300)
+        )
+        grad_min = (
+            exp_neg * ((1.0 - c / gamma) * sn + scn / gamma) / np.maximum(sn * sn, 1e-300)
+        )
+        a[f"pin_grad_{axis}"][lo:hi] = (grad_max - grad_min) * net_w[seg]
     return None
 
 

@@ -99,6 +99,15 @@ class ElectrostaticDensity:
         self._block = None
         self._terms_dirty = True
 
+        # Scatter-plan scratch: flattened corner indices/weights for the
+        # single-bincount splat, plus Poisson-solve work grids (PR 7).
+        num_movable_cells = self._movable.size
+        self._flat_idx = np.empty(4 * num_movable_cells, dtype=np.int64)
+        self._flat_w = np.empty(4 * num_movable_cells, dtype=np.float64)
+        self._rho = np.empty((self.num_bins_x, self.num_bins_y), dtype=np.float64)
+        self._field_u = np.empty_like(self._rho)
+        self._field_v = np.empty_like(self._rho)
+
         # Precompute DCT frequencies for the Poisson solve.
         wx = np.pi * np.arange(self.num_bins_x) / self.num_bins_x / self.bin_w
         wy = np.pi * np.arange(self.num_bins_y) / self.num_bins_y / self.bin_h
@@ -200,12 +209,38 @@ class ElectrostaticDensity:
             (s, e, *args) for s, e in split_ranges(self._movable.size, runner.workers)
         ]
         runner.run("density_terms", [block], tasks)
-        density = np.zeros((self.num_bins_x, self.num_bins_y), dtype=np.float64)
-        np.add.at(density, (views["iu"], views["iv"]), views["w00"])
-        np.add.at(density, (views["iu1"], views["iv"]), views["w10"])
-        np.add.at(density, (views["iu"], views["iv1"]), views["w01"])
-        np.add.at(density, (views["iu1"], views["iv1"]), views["w11"])
-        return density
+        return self._deposit(
+            views["iu"], views["iv"], views["iu1"], views["iv1"],
+            views["w00"], views["w10"], views["w01"], views["w11"],
+        )
+
+    def _deposit(self, iu, iv, iu1, iv1, w00, w10, w01, w11) -> np.ndarray:
+        """Replay the four corner deposits as one flat ``bincount``.
+
+        ``np.bincount`` with float weights is a sequential fold in input
+        order, so concatenating the corner contributions in the legacy
+        deposit order (w00, w10, w01, w11) reproduces the four sequential
+        ``np.add.at`` calls bit for bit (property-tested against
+        ``_reference_splat``).
+        """
+        n = iu.size
+        nby = self.num_bins_y
+        idx = self._flat_idx
+        w = self._flat_w
+        np.multiply(iu, nby, out=idx[:n])
+        idx[:n] += iv
+        np.multiply(iu1, nby, out=idx[n : 2 * n])
+        idx[n : 2 * n] += iv
+        np.multiply(iu, nby, out=idx[2 * n : 3 * n])
+        idx[2 * n : 3 * n] += iv1
+        np.multiply(iu1, nby, out=idx[3 * n :])
+        idx[3 * n :] += iv1
+        w[:n] = w00
+        w[n : 2 * n] = w10
+        w[2 * n : 3 * n] = w01
+        w[3 * n :] = w11
+        flat = np.bincount(idx, weights=w, minlength=self.num_bins_x * nby)
+        return flat.reshape(self.num_bins_x, nby)
 
     def _splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Cloud-in-cell deposition of movable cell areas onto the bin grid."""
@@ -226,6 +261,30 @@ class ElectrostaticDensity:
         iv1 = np.minimum(iv + 1, self.num_bins_y - 1)
         fu = u - iu
         fv = v - iv
+        return self._deposit(
+            iu, iv, iu1, iv1,
+            self._area * (1 - fu) * (1 - fv),
+            self._area * fu * (1 - fv),
+            self._area * (1 - fu) * fv,
+            self._area * fu * fv,
+        )
+
+    def _reference_splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Pre-plan splat via four ``np.add.at`` deposits (slow; kept as the
+        bitwise reference for the property tests and legacy benchmarks)."""
+        die = self.core.die
+        cx = x[self._movable] + self._half_w
+        cy = y[self._movable] + self._half_h
+        u = (cx - die.xl) / self.bin_w - 0.5
+        v = (cy - die.yl) / self.bin_h - 0.5
+        u = np.clip(u, 0.0, self.num_bins_x - 1.0)
+        v = np.clip(v, 0.0, self.num_bins_y - 1.0)
+        iu = np.floor(u).astype(np.int64)
+        iv = np.floor(v).astype(np.int64)
+        iu1 = np.minimum(iu + 1, self.num_bins_x - 1)
+        iv1 = np.minimum(iv + 1, self.num_bins_y - 1)
+        fu = u - iu
+        fv = v - iv
 
         density = np.zeros((self.num_bins_x, self.num_bins_y), dtype=np.float64)
         np.add.at(density, (iu, iv), self._area * (1 - fu) * (1 - fv))
@@ -235,16 +294,45 @@ class ElectrostaticDensity:
         return density
 
     def _solve_field(self, density: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Solve the Poisson equation and return (potential, field_x, field_y)."""
-        rho = density / self.bin_area
+        """Solve the Poisson equation and return (potential, field_x, field_y).
+
+        The charge and field grids live in preallocated buffers; ``psi`` is
+        allocated by ``idctn`` (scipy's transforms have no ``out=``).  With
+        ``workers > 0`` the multi-row DCTs are threaded — each row transform
+        is computed identically, so the result is bitwise independent of the
+        thread count.
+        """
+        rho = self._rho
+        np.divide(density, self.bin_area, out=rho)
         # Remove the mean charge so the Neumann problem is well posed.
-        rho = rho - rho.mean()
-        rho_hat = spfft.dctn(rho, type=2, norm="ortho")
-        psi_hat = rho_hat * self._inv_denom
-        psi = spfft.idctn(psi_hat, type=2, norm="ortho")
-        # Electric field E = -grad(psi); central differences on the bin grid.
-        grad_u, grad_v = np.gradient(psi, self.bin_w, self.bin_h)
-        return psi, -grad_u, -grad_v
+        rho -= rho.mean()
+        fft_kwargs = {"workers": self.workers} if self.workers > 0 else {}
+        rho_hat = spfft.dctn(rho, type=2, norm="ortho", **fft_kwargs)
+        rho_hat *= self._inv_denom
+        psi = spfft.idctn(rho_hat, type=2, norm="ortho", **fft_kwargs)
+        # Electric field E = -grad(psi); central differences on the bin grid
+        # (np.gradient's edge_order=1 stencil, staged into the reused field
+        # buffers — bitwise identical to the allocating np.gradient call).
+        if self.num_bins_x < 2 or self.num_bins_y < 2:
+            grad_u, grad_v = np.gradient(psi, self.bin_w, self.bin_h)
+            return psi, -grad_u, -grad_v
+        eu = self._field_u
+        ev = self._field_v
+        np.subtract(psi[2:, :], psi[:-2, :], out=eu[1:-1, :])
+        eu[1:-1, :] /= 2.0 * self.bin_w
+        np.subtract(psi[1, :], psi[0, :], out=eu[0, :])
+        eu[0, :] /= self.bin_w
+        np.subtract(psi[-1, :], psi[-2, :], out=eu[-1, :])
+        eu[-1, :] /= self.bin_w
+        np.subtract(psi[:, 2:], psi[:, :-2], out=ev[:, 1:-1])
+        ev[:, 1:-1] /= 2.0 * self.bin_h
+        np.subtract(psi[:, 1], psi[:, 0], out=ev[:, 0])
+        ev[:, 0] /= self.bin_h
+        np.subtract(psi[:, -1], psi[:, -2], out=ev[:, -1])
+        ev[:, -1] /= self.bin_h
+        np.negative(eu, out=eu)
+        np.negative(ev, out=ev)
+        return psi, eu, ev
 
     def _sample_field(
         self, field: np.ndarray, x: np.ndarray, y: np.ndarray

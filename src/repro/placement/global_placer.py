@@ -22,6 +22,7 @@ over an every-iteration feedback slot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -30,6 +31,7 @@ import numpy as np
 from repro.feedback.base import FeedbackCadence, PlacementFeedback
 from repro.feedback.scheduler import CallbackFeedback, FeedbackScheduler, FeedbackSlot
 from repro.netlist.design import Design
+from repro.placement.arena import IterationArena
 from repro.placement.density import ElectrostaticDensity
 from repro.placement.initial import clamp_to_die, initial_placement
 from repro.placement.nesterov import NesterovOptimizer
@@ -62,6 +64,10 @@ class PlacementConfig:
     seed: int = 0
     verbose: bool = False
     log_every: int = 50
+    # Record history (HPWL, overflow, ...) every N iterations (default: all).
+    # XL runs can raise this to cut per-iteration bookkeeping cost; the
+    # optimization trajectory is bitwise unaffected.
+    history_every: int = 1
     # Kernel-pool workers for the density splat (0 = serial; see
     # repro.parallel for the bit-exactness guarantee).
     kernel_workers: int = 0
@@ -110,7 +116,9 @@ class GlobalPlacer:
         self.profiler = profiler if profiler is not None else RuntimeProfiler()
         arrays = design.arrays
 
-        self.wirelength = WeightedAverageWirelength(design)
+        self.wirelength = WeightedAverageWirelength(
+            design, workers=self.config.kernel_workers
+        )
         self.density = ElectrostaticDensity(
             design,
             num_bins_x=self.config.num_bins_x,
@@ -129,6 +137,20 @@ class GlobalPlacer:
         ).astype(np.float64)
         self._inst_area = arrays.inst_area
         self._movable_mask = arrays.movable_mask
+        self._fixed_mask = ~arrays.movable_mask
+
+        # Iteration arena: reused work buffers for the gradient pipeline
+        # (shared with the wirelength model); per-term gradient walls for
+        # ``repro run --profile`` attribution.
+        self.arena = IterationArena()
+        self.wirelength.arena = self.arena
+        self.gradient_seconds: Dict[str, float] = {
+            "wirelength": 0.0,
+            "density": 0.0,
+            "extra": 0.0,
+            "scatter": 0.0,
+        }
+        self._density_weight_pending = False
 
         self.density_weight = 0.0
         self._gamma_bin = max(self.density.bin_w, self.density.bin_h)
@@ -208,32 +230,74 @@ class GlobalPlacer:
         self.wirelength.set_gamma(max(gamma, 1e-3))
 
     def _gradient(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Preconditioned objective gradient at ``(x, y)``.
+
+        Returns arena-owned buffers that are reused on the next call; the
+        optimizer copies what it keeps.  The staged in-place combine is
+        bitwise identical to the allocating sum it replaced (IEEE ``+`` and
+        ``*`` are commutative bit for bit).  Per-term walls accumulate into
+        ``gradient_seconds`` with plain ``perf_counter`` deltas — the
+        profiler's "gradient" section keeps the aggregate.
+        """
+        seconds = self.gradient_seconds
         with self.profiler.section("gradient"):
+            t0 = time.perf_counter()
             wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
+            t1 = time.perf_counter()
+            seconds["wirelength"] += t1 - t0
             dens = self.density.evaluate(x, y)
+            t2 = time.perf_counter()
+            seconds["density"] += t2 - t1
+            if self._density_weight_pending:
+                # Folded first-iteration bootstrap: derive the initial
+                # density multiplier from this evaluation instead of running
+                # a duplicate evaluate before the loop (same positions, same
+                # gamma — bitwise identical weight).
+                self.density_weight = self._derive_density_weight(wl, dens)
+                self._density_weight_pending = False
+            arena = self.arena
+            num_instances = self.design.arrays.num_instances
             _, extra_gx, extra_gy = self.objective.evaluate_extra(
-                x, y, self.design.arrays.num_instances
+                x,
+                y,
+                num_instances,
+                out_x=arena.array("extra_gx", num_instances),
+                out_y=arena.array("extra_gy", num_instances),
             )
-            grad_x = wl.grad_x + self.density_weight * dens.grad_x + extra_gx
-            grad_y = wl.grad_y + self.density_weight * dens.grad_y + extra_gy
-            precond = np.maximum(
-                self._pins_per_instance + self.density_weight * self._inst_area, 1.0
-            )
-            grad_x = grad_x / precond
-            grad_y = grad_y / precond
-            grad_x[~self._movable_mask] = 0.0
-            grad_y[~self._movable_mask] = 0.0
+            t3 = time.perf_counter()
+            seconds["extra"] += t3 - t2
+            grad_x = arena.array("grad_x", num_instances)
+            grad_y = arena.array("grad_y", num_instances)
+            np.multiply(dens.grad_x, self.density_weight, out=grad_x)
+            grad_x += wl.grad_x
+            grad_x += extra_gx
+            np.multiply(dens.grad_y, self.density_weight, out=grad_y)
+            grad_y += wl.grad_y
+            grad_y += extra_gy
+            precond = arena.array("precond", num_instances)
+            np.multiply(self._inst_area, self.density_weight, out=precond)
+            precond += self._pins_per_instance
+            np.maximum(precond, 1.0, out=precond)
+            grad_x /= precond
+            grad_y /= precond
+            grad_x[self._fixed_mask] = 0.0
+            grad_y[self._fixed_mask] = 0.0
+            seconds["scatter"] += time.perf_counter() - t3
         self._last_density_result = dens
         return grad_x, grad_y
 
-    def _initial_density_weight(self, x: np.ndarray, y: np.ndarray) -> float:
-        wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
-        dens = self.density.evaluate(x, y)
+    def _derive_density_weight(self, wl, dens) -> float:
+        """Initial density multiplier from one (wl, density) evaluation."""
         wl_norm = float(np.abs(wl.grad_x).sum() + np.abs(wl.grad_y).sum())
         dens_norm = float(np.abs(dens.grad_x).sum() + np.abs(dens.grad_y).sum())
         if dens_norm <= 1e-12:
             return self.config.density_weight_init_ratio
         return self.config.density_weight_init_ratio * wl_norm / dens_norm
+
+    def _initial_density_weight(self, x: np.ndarray, y: np.ndarray) -> float:
+        wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
+        dens = self.density.evaluate(x, y)
+        return self._derive_density_weight(wl, dens)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -249,12 +313,18 @@ class GlobalPlacer:
         """
         config = self.config
         design = self.design
+        if config.history_every < 1:
+            raise ValueError("history_every must be >= 1")
         if x0 is None or y0 is None:
             x0, y0 = initial_placement(design, seed=config.seed)
         x, y = clamp_to_die(design, np.asarray(x0, float), np.asarray(y0, float))
 
         self._update_gamma(1.0)
-        self.density_weight = self._initial_density_weight(x, y)
+        # The initial density weight is derived inside iteration 1's gradient
+        # evaluation (same positions and gamma as the pre-loop evaluate it
+        # replaces) instead of paying a duplicate wirelength+density pass.
+        self.density_weight = 0.0
+        self._density_weight_pending = True
 
         die = design.die
         min_step = 0.01 * design.site_width
@@ -268,15 +338,18 @@ class GlobalPlacer:
         )
         self._optimizer = optimizer
 
+        core = design.arrays
         overflow = 1.0
         hpwl = total_hpwl(design, x, y)
         converged = False
         iteration = 0
         for iteration in range(1, config.max_iterations + 1):
             x, y = optimizer.step_once(self._gradient)
-            x, y = clamp_to_die(design, x, y)
-            optimizer.state.major_x = x
-            optimizer.state.major_y = y
+            # In-place clamp: the returned arrays are the optimizer's major
+            # solution, freshly allocated this iteration, so clipping them
+            # directly keeps optimizer state and loop state in sync without
+            # a copy (values identical to the copying clamp).
+            clamp_to_die(design, x, y, copy=False)
 
             dens = self._last_density_result
             overflow = dens.overflow
@@ -294,12 +367,14 @@ class GlobalPlacer:
                 )
 
             with self.profiler.section("others"):
-                hpwl = total_hpwl(design, x, y)
-                self.history.iterations.append(iteration)
-                self.history.hpwl.append(hpwl)
-                self.history.overflow.append(overflow)
-                self.history.density_weight.append(self.density_weight)
-                self.history.objective.append(hpwl)
+                if iteration % config.history_every == 0:
+                    pin_x, pin_y = self.arena.gather_pins(core, x, y)
+                    hpwl = core.total_hpwl(x, y, pin_x=pin_x, pin_y=pin_y)
+                    self.history.iterations.append(iteration)
+                    self.history.hpwl.append(hpwl)
+                    self.history.overflow.append(overflow)
+                    self.history.density_weight.append(self.density_weight)
+                    self.history.objective.append(hpwl)
 
             self.feedback.dispatch(self, iteration, x, y)
 
@@ -315,6 +390,11 @@ class GlobalPlacer:
             if iteration >= config.min_iterations and overflow <= config.stop_overflow:
                 converged = True
                 break
+
+        if iteration % config.history_every != 0:
+            # Last iteration skipped bookkeeping; the result still reports
+            # the final HPWL.
+            hpwl = total_hpwl(design, x, y)
 
         self.feedback.finalize(self)
         design.set_positions(x, y)

@@ -50,13 +50,21 @@ def initial_placement(
     return x, y
 
 
-def clamp_to_die(design, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Clip movable instances so their footprint stays inside the die."""
+def clamp_to_die(
+    design, x: np.ndarray, y: np.ndarray, *, copy: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clip movable instances so their footprint stays inside the die.
+
+    With ``copy=False`` the inputs are clipped in place (same values bit for
+    bit; the placer's inner loop uses this to avoid re-allocating the
+    position arrays every iteration).
+    """
     core = as_core(design)
     die = core.die
     movable = core.movable_index
-    x = x.copy()
-    y = y.copy()
+    if copy:
+        x = x.copy()
+        y = y.copy()
     x[movable] = np.clip(x[movable], die.xl, die.xh - core.inst_width[movable])
     y[movable] = np.clip(y[movable], die.yl, die.yh - core.inst_height[movable])
     return x, y

@@ -6,12 +6,24 @@ estimated each iteration from the displacement/gradient-change inner products
 (the BB method), clamped to a sane range derived from the die dimensions.
 The optimizer is agnostic of the objective; the placer supplies a gradient
 callback and applies its own preconditioning before calling :meth:`step`.
+
+Allocation discipline (PR 7): the optimizer recycles its internal
+reference/previous-iterate buffers through a small per-axis pool and keeps
+owned copies of the previous gradient, so a steady-state iteration allocates
+only the two ``new_major`` arrays — those escape to the placer (history,
+feedbacks, the final :class:`PlacementResult`) and must stay fresh.  The
+gradient callback may return buffers it reuses between calls (the placer's
+iteration arena does exactly that); the owned ``prev_grad`` copies make that
+safe.  All replacements are bitwise-neutral: ``np.copyto`` + in-place
+arithmetic produce the same bits as the allocating expressions they
+replaced, and the BB inner products run over one contiguous ``2n`` buffer
+exactly like the legacy ``np.concatenate`` form.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +74,16 @@ class NesterovOptimizer:
         )
         self.iteration = 0
 
+        # Recycled internal buffers: reference/prev iterates rotate through
+        # these free lists; prev-gradient copies and the BB scratch are owned.
+        n = x0.size
+        self._ref_pool_x: List[np.ndarray] = []
+        self._ref_pool_y: List[np.ndarray] = []
+        self._prev_grad_x = np.empty(n, dtype=np.float64)
+        self._prev_grad_y = np.empty(n, dtype=np.float64)
+        self._bb_dx = np.empty(2 * n, dtype=np.float64)
+        self._bb_dg = np.empty(2 * n, dtype=np.float64)
+
     # ------------------------------------------------------------------
     def _bb_step(
         self,
@@ -74,19 +96,32 @@ class NesterovOptimizer:
         state = self.state
         if state.prev_grad_x is None or state.prev_x is None:
             return self.step
-        dx = np.concatenate([x - state.prev_x, y - state.prev_y])
-        dg = np.concatenate([grad_x - state.prev_grad_x, grad_y - state.prev_grad_y])
+        n = x.size
+        dx = self._bb_dx
+        dg = self._bb_dg
+        np.subtract(x, state.prev_x, out=dx[:n])
+        np.subtract(y, state.prev_y, out=dx[n:])
+        np.subtract(grad_x, state.prev_grad_x, out=dg[:n])
+        np.subtract(grad_y, state.prev_grad_y, out=dg[n:])
         dg_dot = float(np.dot(dg, dg))
         if dg_dot <= 1e-30:
             return self.step
         step = abs(float(np.dot(dx, dg))) / dg_dot
         return float(np.clip(step, self.min_step, self.max_step))
 
+    def _take_ref(self, pool: List[np.ndarray], like: np.ndarray) -> np.ndarray:
+        return pool.pop() if pool else np.empty_like(like)
+
     def step_once(
         self,
         grad_fn: GradientFn,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Perform one Nesterov update; returns the new major solution."""
+        """Perform one Nesterov update; returns the new major solution.
+
+        The returned arrays are freshly allocated each call (they escape to
+        the caller); the gradient arrays from ``grad_fn`` are treated as
+        borrowed and copied into owned state.
+        """
         state = self.state
         mask = self.movable_mask
 
@@ -102,15 +137,25 @@ class NesterovOptimizer:
         next_momentum = 0.5 * (1.0 + np.sqrt(4.0 * state.momentum**2 + 1.0))
         beta = (state.momentum - 1.0) / next_momentum
 
-        new_reference_x = new_major_x.copy()
-        new_reference_y = new_major_y.copy()
+        new_reference_x = self._take_ref(self._ref_pool_x, new_major_x)
+        new_reference_y = self._take_ref(self._ref_pool_y, new_major_y)
+        np.copyto(new_reference_x, new_major_x)
+        np.copyto(new_reference_y, new_major_y)
         new_reference_x[mask] += beta * (new_major_x[mask] - state.major_x[mask])
         new_reference_y[mask] += beta * (new_major_y[mask] - state.major_y[mask])
 
+        # Rotate: the outgoing prev buffers are free again, the evaluated
+        # reference becomes prev, and the owned gradient copies become the
+        # BB history for the next iteration.
+        if state.prev_x is not None:
+            self._ref_pool_x.append(state.prev_x)
+            self._ref_pool_y.append(state.prev_y)
         state.prev_x = state.reference_x
         state.prev_y = state.reference_y
-        state.prev_grad_x = grad_x
-        state.prev_grad_y = grad_y
+        np.copyto(self._prev_grad_x, grad_x)
+        np.copyto(self._prev_grad_y, grad_y)
+        state.prev_grad_x = self._prev_grad_x
+        state.prev_grad_y = self._prev_grad_y
         state.major_x = new_major_x
         state.major_y = new_major_y
         state.reference_x = new_reference_x
@@ -123,8 +168,8 @@ class NesterovOptimizer:
         """Restart momentum (used when the objective changes, e.g. when the
         timing term switches on or the density multiplier jumps)."""
         self.state.momentum = 1.0
-        self.state.reference_x = self.state.major_x.copy()
-        self.state.reference_y = self.state.major_y.copy()
+        np.copyto(self.state.reference_x, self.state.major_x)
+        np.copyto(self.state.reference_y, self.state.major_y)
 
     @property
     def solution(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -60,12 +60,27 @@ class PlacementObjective:
         self.extra_terms.remove(term)
 
     def evaluate_extra(
-        self, x: np.ndarray, y: np.ndarray, num_instances: int
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        num_instances: int,
+        *,
+        out_x: np.ndarray = None,
+        out_y: np.ndarray = None,
     ) -> Tuple[List[float], np.ndarray, np.ndarray]:
-        """Evaluate all extra terms; returns values and summed weighted gradients."""
+        """Evaluate all extra terms; returns values and summed weighted gradients.
+
+        ``out_x``/``out_y`` may supply reused accumulator buffers (the
+        placer's iteration arena); they are zero-filled before accumulation,
+        so results are bitwise identical to the allocating form.
+        """
         values: List[float] = []
-        grad_x = np.zeros(num_instances, dtype=np.float64)
-        grad_y = np.zeros(num_instances, dtype=np.float64)
+        grad_x = np.zeros(num_instances, dtype=np.float64) if out_x is None else out_x
+        grad_y = np.zeros(num_instances, dtype=np.float64) if out_y is None else out_y
+        if out_x is not None:
+            grad_x.fill(0.0)
+        if out_y is not None:
+            grad_y.fill(0.0)
         for term in self.extra_terms:
             value, gx, gy = term.evaluate(x, y)
             values.append(term.weight * value)

@@ -7,6 +7,31 @@ DREAMPlace and therefore by every placer in this library.  Values and
 gradients are computed for all nets at once from the design core's CSR
 net-to-pin arrays, then pin gradients are accumulated onto instances.
 
+Scatter plans (PR 7)
+--------------------
+
+The hot path no longer walks full-size per-net arrays or re-derives the
+valid-pin filter per call.  ``__init__`` builds a *scatter plan* once — the
+filtered CSR pin list is net-contiguous (the CSR expansion is net-major), so
+compact segment ids drive the per-net extrema (``np.maximum.at`` over the
+valid-net-sized arrays), the per-net sums and the pin→instance accumulation
+run through ``np.bincount``, and all per-pin intermediates stage through
+reused arena buffers instead of fresh temporaries.
+
+Bit-exactness: ``np.bincount`` with float weights is a sequential fold in
+input order, exactly like ``np.add.at`` (property-tested against the
+``_reference_*`` legacy paths kept below), and IEEE min/max is
+order-independent for the NaN-free inputs here.  ``np.add.reduceat`` is
+deliberately **not** used for the float sums — its blocked pairwise
+summation does not reproduce the sequential ``np.add.at`` fold bit for bit.
+
+With ``workers > 0`` (or an injected runner) the evaluation shards across
+the :mod:`repro.parallel` kernel pool: workers own disjoint *whole-net*
+ranges, compute per-pin gradients and per-net WA values locally, and the
+parent replays the instance scatter and the value sum in canonical order —
+bitwise identical to serial for any worker count (same contract as the
+density splat).
+
 Every entry point takes either a :class:`repro.netlist.Design` or a bare
 :class:`repro.netlist.core.DesignCore` — the smooth model never touches the
 object netlist.
@@ -58,27 +83,72 @@ class WeightedAverageWirelength:
     yield stiffer gradients.  DREAMPlace anneals gamma with overflow; the
     :class:`repro.placement.global_placer.GlobalPlacer` does the same through
     :meth:`set_gamma`.
+
+    ``workers``/``runner`` select the kernel-pool sharded evaluation
+    (``workers=0``, the default, keeps the serial plan path); ``arena`` may
+    be set to an :class:`repro.placement.arena.IterationArena` to reuse the
+    per-pin work buffers across evaluations.
     """
 
-    def __init__(self, design, *, gamma: float = 5.0) -> None:
+    def __init__(
+        self,
+        design,
+        *,
+        gamma: float = 5.0,
+        workers: int = 0,
+        runner=None,
+    ) -> None:
         core = as_core(design)
         self.core = core
         self.gamma = float(gamma)
         counts = np.diff(core.net_pin_offsets)
-        # Only nets with at least two pins contribute wirelength.
+        # Only nets with at least two pins contribute wirelength.  The pin
+        # filter is the O(P) per-pin count lookup, not an O(P log N)
+        # ``np.isin`` against the valid-net list (same mask, tested).
         self._valid_nets = np.nonzero(counts >= 2)[0]
-        valid_mask = np.isin(core.csr_net, self._valid_nets)
+        valid_mask = counts[core.csr_net] >= 2
         self._csr_pins = core.net_pin_index[valid_mask]
         self._csr_net = core.csr_net[valid_mask]
         self._pin_instance = core.pin_instance
         self._num_nets = core.num_nets
         self._num_instances = core.num_instances
         self._movable_mask = core.movable_mask
+        self._fixed_mask = ~core.movable_mask
+
+        # Scatter plan.  ``csr_net`` is net-major (nondecreasing), so the
+        # filtered pins stay net-contiguous: per-net segments are described
+        # by their start offsets, and every pin knows its (compact) segment.
+        valid_counts = counts[self._valid_nets]
+        self._seg_starts = np.zeros(self._valid_nets.size, dtype=np.int64)
+        if self._valid_nets.size:
+            np.cumsum(valid_counts[:-1], out=self._seg_starts[1:])
+        self._seg_id = np.repeat(
+            np.arange(self._valid_nets.size, dtype=np.int64), valid_counts
+        )
+        # Precomputed pin→instance targets for the bincount scatter.
+        self._pin_inst = core.pin_instance[self._csr_pins]
+
+        # Optional buffer arena (set by the placer).
+        self.arena = None
+
+        # Kernel-pool sharding state (mirrors ElectrostaticDensity).
+        self.workers = int(workers)
+        self._runner = runner
+        self._runner_resolved = runner is not None
+        self._block = None
 
     def set_gamma(self, gamma: float) -> None:
         if gamma <= 0:
             raise ValueError("gamma must be positive")
         self.gamma = float(gamma)
+
+    # ------------------------------------------------------------------
+    # Plan-based serial path
+    # ------------------------------------------------------------------
+    def _buffer(self, name: str, size: int) -> np.ndarray:
+        if self.arena is not None:
+            return self.arena.array(name, size)
+        return np.empty(size, dtype=np.float64)
 
     def evaluate(
         self,
@@ -86,17 +156,250 @@ class WeightedAverageWirelength:
         y: np.ndarray,
         *,
         net_weights: Optional[np.ndarray] = None,
+        pin_x: Optional[np.ndarray] = None,
+        pin_y: Optional[np.ndarray] = None,
     ) -> WirelengthResult:
-        """Smoothed wirelength and its gradient w.r.t. instance positions."""
-        pin_x, pin_y = self.core.pin_positions(x, y)
+        """Smoothed wirelength and its gradient w.r.t. instance positions.
+
+        ``pin_x``/``pin_y`` may carry precomputed absolute pin coordinates
+        (the placer's shared per-iteration gather); when omitted the model
+        gathers them itself.
+        """
+        weights = (
+            np.ones(self._num_nets, dtype=np.float64)
+            if net_weights is None
+            else np.asarray(net_weights, dtype=np.float64)
+        )
+        runner = self._get_runner()
+        if runner is not None and self._csr_pins.size:
+            return self._evaluate_pooled(runner, x, y, weights)
+        if pin_x is None or pin_y is None:
+            if self.arena is not None:
+                pin_x, pin_y = self.arena.gather_pins(self.core, x, y)
+            else:
+                pin_x, pin_y = self.core.pin_positions(x, y)
+
+        cx = self._buffer("wl_coord_x", self._csr_pins.size)
+        cy = self._buffer("wl_coord_y", self._csr_pins.size)
+        np.take(pin_x, self._csr_pins, out=cx)
+        np.take(pin_y, self._csr_pins, out=cy)
+        value_x, pin_grad_x = self._directional(cx, weights, axis="x")
+        value_y, pin_grad_y = self._directional(cy, weights, axis="y")
+
+        grad_x = np.bincount(
+            self._pin_inst, weights=pin_grad_x, minlength=self._num_instances
+        )
+        grad_y = np.bincount(
+            self._pin_inst, weights=pin_grad_y, minlength=self._num_instances
+        )
+        grad_x[self._fixed_mask] = 0.0
+        grad_y[self._fixed_mask] = 0.0
+        return WirelengthResult(value=value_x + value_y, grad_x=grad_x, grad_y=grad_y)
+
+    def _directional(
+        self, c: np.ndarray, net_weights: np.ndarray, *, axis: str = "x"
+    ) -> Tuple[float, np.ndarray]:
+        """WA wirelength and per-CSR-pin gradient along one axis.
+
+        Plan path: per-net extrema and sums over *compact* valid-net arrays
+        (``maximum.at``/``minimum.at`` and ``bincount`` keyed by segment id),
+        with every per-pin intermediate staged through a reused buffer.
+        Per-entry values are bitwise identical to the legacy full-size
+        net-id formulation; the value is summed over a full-size per-net
+        array so the pairwise summation tree matches the legacy expression
+        exactly.
+        """
+        gamma = self.gamma
+        seg = self._seg_id
+        num_valid = self._valid_nets.size
+        per_net = self._zeros_buffer(f"wl_per_net_{axis}", self._num_nets)
+        if num_valid == 0:
+            value = float(np.sum(per_net * net_weights))
+            return value, np.zeros(0, dtype=np.float64)
+
+        # Per-net extrema over the compact segment ids.  ``maximum.at`` /
+        # ``minimum.at`` outrun ``reduceat`` for these folds, and IEEE
+        # min/max are order-independent, so either formulation produces the
+        # same bits (the pooled kernel keeps the reduceat form).
+        cmax = self._buffer(f"wl_cmax_{axis}", num_valid)
+        cmin = self._buffer(f"wl_cmin_{axis}", num_valid)
+        cmax.fill(-np.inf)
+        cmin.fill(np.inf)
+        np.maximum.at(cmax, seg, c)
+        np.minimum.at(cmin, seg, c)
+        exp_pos = self._buffer(f"wl_exp_pos_{axis}", c.size)
+        exp_neg = self._buffer(f"wl_exp_neg_{axis}", c.size)
+        np.take(cmax, seg, out=exp_pos)
+        np.subtract(c, exp_pos, out=exp_pos)
+        exp_pos /= gamma
+        np.exp(exp_pos, out=exp_pos)
+        np.take(cmin, seg, out=exp_neg)
+        exp_neg -= c
+        exp_neg /= gamma
+        np.exp(exp_neg, out=exp_neg)
+
+        work = self._buffer(f"wl_work_{axis}", c.size)
+        np.multiply(c, exp_pos, out=work)
+        sum_pos = np.bincount(seg, weights=exp_pos, minlength=num_valid)
+        sum_cpos = np.bincount(seg, weights=work, minlength=num_valid)
+        np.multiply(c, exp_neg, out=work)
+        sum_neg = np.bincount(seg, weights=exp_neg, minlength=num_valid)
+        sum_cneg = np.bincount(seg, weights=work, minlength=num_valid)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            wa_max = np.where(sum_pos > 0, sum_cpos / np.maximum(sum_pos, 1e-300), 0.0)
+            wa_min = np.where(sum_neg > 0, sum_cneg / np.maximum(sum_neg, 1e-300), 0.0)
+        per_net[self._valid_nets] = wa_max - wa_min
+        value = float(np.sum(per_net * net_weights))
+
+        # Gradient of the WA max/min estimators w.r.t. each pin coordinate,
+        # staged through reused buffers.  Every binary op keeps the operand
+        # order of the legacy one-line expression (only the destination
+        # changed), so the rounding — and therefore the bits — match the
+        # ``_reference_directional`` formulation exactly.
+        sums = self._buffer(f"wl_sums_{axis}", c.size)
+        grad = self._buffer(f"wl_grad_{axis}", c.size)
+        # grad_max = exp_pos * ((1 + c/gamma) * sp - scp/gamma) / max(sp*sp, eps)
+        np.divide(c, gamma, out=grad)
+        grad += 1.0
+        np.take(sum_pos, seg, out=sums)
+        grad *= sums
+        np.take(sum_cpos, seg, out=work)
+        work /= gamma
+        grad -= work
+        grad *= exp_pos
+        sums *= sums
+        np.maximum(sums, 1e-300, out=sums)
+        grad /= sums
+        # grad_min = exp_neg * ((1 - c/gamma) * sn + scn/gamma) / max(sn*sn, eps)
+        pin_grad = self._buffer(f"wl_pin_grad_{axis}", c.size)
+        np.divide(c, gamma, out=pin_grad)
+        np.subtract(1.0, pin_grad, out=pin_grad)
+        np.take(sum_neg, seg, out=sums)
+        pin_grad *= sums
+        np.take(sum_cneg, seg, out=work)
+        work /= gamma
+        pin_grad += work
+        pin_grad *= exp_neg
+        sums *= sums
+        np.maximum(sums, 1e-300, out=sums)
+        pin_grad /= sums
+        # pin_grad = (grad_max - grad_min) * net_weights[csr_net]
+        np.subtract(grad, pin_grad, out=pin_grad)
+        np.take(net_weights, self._csr_net, out=work)
+        pin_grad *= work
+        return value, pin_grad
+
+    def _zeros_buffer(self, name: str, size: int) -> np.ndarray:
+        if self.arena is not None:
+            return self.arena.zeros(name, size)
+        return np.zeros(size, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Kernel-pool sharded path
+    # ------------------------------------------------------------------
+    def _get_runner(self):
+        if not self._runner_resolved:
+            self._runner_resolved = True
+            if self.workers > 0:
+                from repro.parallel import get_runner
+
+                self._runner = get_runner(self.workers)
+        return self._runner
+
+    def _ensure_block(self, runner):
+        if self._block is not None:
+            return self._block
+        num_pins = self._csr_pins.size
+        num_valid = self._valid_nets.size
+        core = self.core
+        self._block = runner.register(
+            {
+                # Static plan arrays.
+                "pinst": self._pin_inst,
+                "off_x": core.pin_offset_x[self._csr_pins],
+                "off_y": core.pin_offset_y[self._csr_pins],
+                "seg_id": self._seg_id,
+                "seg_starts": self._seg_starts,
+                # Mutable per-call inputs.
+                "x": np.zeros(core.num_instances, dtype=np.float64),
+                "y": np.zeros(core.num_instances, dtype=np.float64),
+                "net_w": np.zeros(num_valid, dtype=np.float64),
+                # Worker outputs.
+                "pin_grad_x": np.zeros(num_pins, dtype=np.float64),
+                "pin_grad_y": np.zeros(num_pins, dtype=np.float64),
+                "per_net_x": np.zeros(num_valid, dtype=np.float64),
+                "per_net_y": np.zeros(num_valid, dtype=np.float64),
+            }
+        )
+        import weakref
+
+        from repro.route.rudy import _release_block
+
+        weakref.finalize(self, _release_block, runner, self._block)
+        return self._block
+
+    def _evaluate_pooled(
+        self, runner, x: np.ndarray, y: np.ndarray, weights: np.ndarray
+    ) -> WirelengthResult:
+        """Sharded WA evaluation: workers own disjoint whole-net ranges and
+        compute per-pin gradients + per-net WA values; the parent replays
+        the value sum and the instance scatter in canonical order — bitwise
+        identical to the serial plan path for any worker count."""
+        from repro.parallel.engine import split_ranges
+
+        block = self._ensure_block(runner)
+        views = block.views
+        views["x"][...] = x
+        views["y"][...] = y
+        views["net_w"][...] = weights[self._valid_nets]
+        seg_bounds = np.append(self._seg_starts, self._csr_pins.size)
+        tasks = [
+            (s, e, int(seg_bounds[s]), int(seg_bounds[e]), self.gamma)
+            for s, e in split_ranges(self._valid_nets.size, runner.workers)
+        ]
+        runner.run("wa_wirelength", [block], tasks)
+
+        values = []
+        for axis in ("x", "y"):
+            per_net = self._zeros_buffer(f"wl_per_net_{axis}", self._num_nets)
+            per_net[self._valid_nets] = views[f"per_net_{axis}"]
+            values.append(float(np.sum(per_net * weights)))
+        grad_x = np.bincount(
+            self._pin_inst, weights=views["pin_grad_x"], minlength=self._num_instances
+        )
+        grad_y = np.bincount(
+            self._pin_inst, weights=views["pin_grad_y"], minlength=self._num_instances
+        )
+        grad_x[self._fixed_mask] = 0.0
+        grad_y[self._fixed_mask] = 0.0
+        return WirelengthResult(
+            value=values[0] + values[1], grad_x=grad_x, grad_y=grad_y
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy reference path (kept for the bitwise property tests)
+    # ------------------------------------------------------------------
+    def _reference_evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        net_weights: Optional[np.ndarray] = None,
+        pin_x: Optional[np.ndarray] = None,
+        pin_y: Optional[np.ndarray] = None,
+    ) -> WirelengthResult:
+        """Pre-plan evaluation via ``np.add.at``/``np.maximum.at`` (slow)."""
+        if pin_x is None or pin_y is None:
+            pin_x, pin_y = self.core.pin_positions(x, y)
         weights = (
             np.ones(self._num_nets, dtype=np.float64)
             if net_weights is None
             else np.asarray(net_weights, dtype=np.float64)
         )
 
-        value_x, pin_grad_x = self._directional(pin_x, weights)
-        value_y, pin_grad_y = self._directional(pin_y, weights)
+        value_x, pin_grad_x = self._reference_directional(pin_x, weights)
+        value_y, pin_grad_y = self._reference_directional(pin_y, weights)
 
         grad_x = np.zeros(self._num_instances, dtype=np.float64)
         grad_y = np.zeros(self._num_instances, dtype=np.float64)
@@ -106,10 +409,10 @@ class WeightedAverageWirelength:
         grad_y[~self._movable_mask] = 0.0
         return WirelengthResult(value=value_x + value_y, grad_x=grad_x, grad_y=grad_y)
 
-    def _directional(
+    def _reference_directional(
         self, coord: np.ndarray, net_weights: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        """WA wirelength and per-CSR-pin gradient along one axis."""
+        """Legacy WA value/gradient along one axis (unbuffered scatters)."""
         gamma = self.gamma
         pins = self._csr_pins
         nets = self._csr_net

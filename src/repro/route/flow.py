@@ -62,6 +62,9 @@ class RoutabilityConfig:
     # Kernel-pool workers for the density / congestion / STA hot paths
     # (0 = serial; see repro.parallel for the bit-exactness guarantee).
     kernel_workers: int = 0
+    # Record placement history every N iterations (1 = every iteration;
+    # the optimization trajectory is bitwise unaffected).
+    history_every: int = 1
     # Inflation loop.  The flat fields exist so ``--set`` style overrides can
     # address the common knobs; ``None`` means "defer to self.inflation",
     # so an explicitly provided InflationConfig is honored in full.
@@ -86,6 +89,7 @@ class RoutabilityConfig:
             seed=self.seed,
             verbose=self.verbose,
             kernel_workers=self.kernel_workers,
+            history_every=self.history_every,
         )
 
     def congestion_config(self) -> CongestionConfig:
@@ -134,6 +138,9 @@ class RoutabilityGPConfig:
     # Kernel-pool workers for the density / congestion / STA hot paths
     # (0 = serial; see repro.parallel for the bit-exactness guarantee).
     kernel_workers: int = 0
+    # Record placement history every N iterations (1 = every iteration;
+    # the optimization trajectory is bitwise unaffected).
+    history_every: int = 1
     # Congestion net weighting: cadence (warmup / every-K / cooldown) and
     # proposal shape.
     congestion_start: int = 100
@@ -177,6 +184,7 @@ class RoutabilityGPConfig:
             seed=self.seed,
             verbose=self.verbose,
             kernel_workers=self.kernel_workers,
+            history_every=self.history_every,
         )
 
     def congestion_config(self) -> CongestionConfig:

@@ -1,0 +1,387 @@
+"""GP inner-loop overhaul tests: scatter plans, iteration arena, WA kernel.
+
+PR 7's contract is that every rewrite of the global-place gradient pipeline
+is *bitwise* neutral: the plan-based wirelength/density paths must match the
+legacy ``np.add.at`` / ``np.maximum.at`` reference paths (kept as
+``_reference_*`` helpers) bit for bit, the ``wa_wirelength`` kernel must
+match the serial plan for any worker count, and the arena/optimizer buffer
+reuse must not change a single bit of the optimization trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen.suite import load_benchmark
+from repro.core.pin_attraction import PinAttractionObjective, PinPairSet
+from repro.parallel import KernelPool, SerialShardRunner
+from repro.placement.arena import IterationArena
+from repro.placement.density import ElectrostaticDensity
+from repro.placement.global_placer import GlobalPlacer, PlacementConfig
+from repro.placement.initial import initial_placement
+from repro.placement.objective import PlacementObjective
+from repro.placement.wirelength import WeightedAverageWirelength
+
+DESIGNS = ("sb_mini_18", "sb_mini_4", "sb_cong_1")
+
+
+def _design(name="sb_mini_18", scale=0.5):
+    return load_benchmark(name, scale=scale)
+
+
+def _positions(design, seed):
+    rng = np.random.default_rng(seed)
+    x, y = initial_placement(design, seed=seed)
+    x += rng.normal(0.0, 2.5, x.size)
+    y += rng.normal(0.0, 2.5, y.size)
+    return x, y
+
+
+# ----------------------------------------------------------------------
+# Scatter-plan bitwise properties
+# ----------------------------------------------------------------------
+class TestWirelengthPlan:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(DESIGNS),
+        scale=st.floats(0.3, 0.8),
+        gamma=st.floats(0.5, 25.0),
+        seed=st.integers(0, 2**31 - 1),
+        weighted=st.booleans(),
+    )
+    def test_plan_matches_reference_bitwise(self, name, scale, gamma, seed, weighted):
+        design = _design(name, scale)
+        x, y = _positions(design, seed)
+        model = WeightedAverageWirelength(design, gamma=gamma)
+        weights = None
+        if weighted:
+            weights = np.random.default_rng(seed).uniform(0.25, 4.0, design.num_nets)
+        plan = model.evaluate(x, y, net_weights=weights)
+        ref = model._reference_evaluate(x, y, net_weights=weights)
+        assert plan.value == ref.value
+        assert np.array_equal(plan.grad_x, ref.grad_x)
+        assert np.array_equal(plan.grad_y, ref.grad_y)
+
+    def test_valid_net_filter_matches_isin(self):
+        design = _design("sb_mini_18", 0.5)
+        core = design.arrays
+        model = WeightedAverageWirelength(design)
+        counts = np.diff(core.net_pin_offsets)
+        valid_nets = np.nonzero(counts >= 2)[0]
+        # The O(P) count-lookup mask must select exactly the pins the old
+        # O(P log N) np.isin filter selected.
+        isin_mask = np.isin(core.csr_net, valid_nets)
+        assert np.array_equal(model._csr_pins, core.net_pin_index[isin_mask])
+        assert np.array_equal(model._csr_net, core.csr_net[isin_mask])
+        assert np.array_equal(model._valid_nets, valid_nets)
+
+    def test_arena_reuse_is_bitwise_neutral_and_allocation_free(self):
+        design = _design("sb_mini_4", 0.5)
+        x, y = _positions(design, 7)
+        bare = WeightedAverageWirelength(design, gamma=3.0)
+        pooled = WeightedAverageWirelength(design, gamma=3.0)
+        pooled.arena = IterationArena()
+        expect = bare.evaluate(x, y)
+        for _ in range(3):
+            got = pooled.evaluate(x, y)
+            assert got.value == expect.value
+            assert np.array_equal(got.grad_x, expect.grad_x)
+            assert np.array_equal(got.grad_y, expect.grad_y)
+        steady = pooled.arena.allocations
+        pooled.evaluate(x, y)
+        assert pooled.arena.allocations == steady
+
+    def test_precomputed_pin_positions_match_internal_gather(self):
+        design = _design("sb_mini_18", 0.4)
+        x, y = _positions(design, 11)
+        model = WeightedAverageWirelength(design, gamma=4.0)
+        pin_x, pin_y = design.arrays.pin_positions(x, y)
+        a = model.evaluate(x, y)
+        b = model.evaluate(x, y, pin_x=pin_x, pin_y=pin_y)
+        assert a.value == b.value
+        assert np.array_equal(a.grad_x, b.grad_x)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(DESIGNS),
+        scale=st.floats(0.3, 0.8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_hpwl_plan_matches_reference_bitwise(self, name, scale, seed):
+        # The planned hpwl_per_net must reproduce the legacy reduceat-plus-
+        # fallback pass bit for bit, including the historical grouping split
+        # between clean-segment and fallback nets.
+        design = _design(name, scale)
+        core = design.arrays
+        x, y = _positions(design, seed)
+        plan = core.hpwl_per_net(x, y)
+        ref = core._reference_hpwl_per_net(x, y)
+        assert np.array_equal(plan, ref)
+
+
+class TestDensityPlan:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(DESIGNS),
+        scale=st.floats(0.3, 0.8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_splat_matches_reference_bitwise(self, name, scale, seed):
+        design = _design(name, scale)
+        x, y = _positions(design, seed)
+        model = ElectrostaticDensity(design)
+        assert np.array_equal(model._splat(x, y), model._reference_splat(x, y))
+
+    def test_solve_field_matches_legacy_np_gradient(self):
+        from scipy import fft as spfft
+
+        design = _design("sb_mini_18", 0.5)
+        x, y = _positions(design, 3)
+        model = ElectrostaticDensity(design)
+        density = model._splat(x, y)
+        psi, ex, ey = model._solve_field(density)
+        rho = density / model.bin_area
+        rho = rho - rho.mean()
+        psi_ref = spfft.idctn(
+            spfft.dctn(rho, type=2, norm="ortho") * model._inv_denom,
+            type=2,
+            norm="ortho",
+        )
+        gu, gv = np.gradient(psi_ref, model.bin_w, model.bin_h)
+        assert np.array_equal(psi, psi_ref)
+        assert np.array_equal(ex, -gu)
+        assert np.array_equal(ey, -gv)
+
+
+class TestExtraTermPlans:
+    def test_pin_attraction_matches_reference_bitwise(self):
+        design = _design("sb_mini_18", 0.5)
+        x, y = _positions(design, 5)
+        rng = np.random.default_rng(5)
+        pairs = PinPairSet()
+        num_pins = design.arrays.num_pins
+        chosen = rng.choice(num_pins, size=(64, 2), replace=False)
+        pairs.set_weights(
+            {(int(i), int(j)): float(w) for (i, j), w in zip(chosen, rng.uniform(1, 8, 64))}
+        )
+        term = PinAttractionObjective(design, pairs)
+        v1, gx1, gy1 = term.evaluate(x, y)
+        v2, gx2, gy2 = term._reference_evaluate(x, y)
+        assert v1 == v2
+        assert np.array_equal(gx1, gx2)
+        assert np.array_equal(gy1, gy2)
+
+    def test_evaluate_extra_out_buffers_bitwise(self):
+        design = _design("sb_mini_4", 0.5)
+        x, y = _positions(design, 9)
+        pairs = PinPairSet()
+        pairs.set_weights({(0, 1): 3.0, (2, 5): 1.5})
+        objective = PlacementObjective()
+        objective.add_term(PinAttractionObjective(design, pairs))
+        n = design.arrays.num_instances
+        values_a, gx_a, gy_a = objective.evaluate_extra(x, y, n)
+        out_x = np.full(n, 123.0)  # stale garbage must be zeroed
+        out_y = np.full(n, -7.0)
+        values_b, gx_b, gy_b = objective.evaluate_extra(x, y, n, out_x=out_x, out_y=out_y)
+        assert values_a == values_b
+        assert gx_b is out_x and gy_b is out_y
+        assert np.array_equal(gx_a, gx_b)
+        assert np.array_equal(gy_a, gy_b)
+
+
+# ----------------------------------------------------------------------
+# Sharded WA kernel
+# ----------------------------------------------------------------------
+class TestWirelengthKernel:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(DESIGNS),
+        scale=st.floats(0.3, 0.7),
+        gamma=st.floats(0.5, 20.0),
+        shards=st.integers(1, 8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_sharded_matches_serial_bitwise(self, name, scale, gamma, shards, seed):
+        design = _design(name, scale)
+        x, y = _positions(design, seed)
+        weights = np.random.default_rng(seed).uniform(0.25, 4.0, design.num_nets)
+        serial = WeightedAverageWirelength(design, gamma=gamma)
+        sharded = WeightedAverageWirelength(
+            design, gamma=gamma, workers=shards, runner=SerialShardRunner(shards)
+        )
+        a = serial.evaluate(x, y, net_weights=weights)
+        b = sharded.evaluate(x, y, net_weights=weights)
+        assert a.value == b.value
+        assert np.array_equal(a.grad_x, b.grad_x)
+        assert np.array_equal(a.grad_y, b.grad_y)
+
+    def test_gamma_change_reaches_workers(self):
+        design = _design("sb_mini_4", 0.5)
+        x, y = _positions(design, 1)
+        serial = WeightedAverageWirelength(design, gamma=2.0)
+        sharded = WeightedAverageWirelength(design, runner=SerialShardRunner(3))
+        sharded.set_gamma(2.0)
+        a = serial.evaluate(x, y)
+        b = sharded.evaluate(x, y)
+        assert a.value == b.value and np.array_equal(a.grad_x, b.grad_x)
+
+    def test_real_pool_matches_serial_bitwise(self):
+        design = _design("sb_mini_18", 0.4)
+        x, y = _positions(design, 2)
+        serial = WeightedAverageWirelength(design, gamma=4.0).evaluate(x, y)
+        with KernelPool(2) as pool:
+            pooled = WeightedAverageWirelength(design, gamma=4.0, runner=pool).evaluate(
+                x, y
+            )
+        assert pooled.value == serial.value
+        assert np.array_equal(pooled.grad_x, serial.grad_x)
+        assert np.array_equal(pooled.grad_y, serial.grad_y)
+
+
+# ----------------------------------------------------------------------
+# Optimizer buffer reuse and full-loop equivalence
+# ----------------------------------------------------------------------
+class TestInnerLoopBitwise:
+    def test_full_placement_matches_legacy_paths(self):
+        """End-to-end: plan-based placer == placer forced onto legacy paths."""
+        config = PlacementConfig(max_iterations=40, min_iterations=10, seed=0)
+        plan = GlobalPlacer(load_benchmark("sb_mini_4", scale=0.4), config)
+        legacy = GlobalPlacer(load_benchmark("sb_mini_4", scale=0.4), config)
+        legacy.wirelength.evaluate = legacy.wirelength._reference_evaluate
+        legacy.density._splat = legacy.density._reference_splat
+        a = plan.run()
+        b = legacy.run()
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+        assert a.hpwl == b.hpwl
+        assert a.history.hpwl == b.history.hpwl
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_full_placement_sharded_matches_serial(self, shards):
+        config = PlacementConfig(max_iterations=30, min_iterations=10, seed=0)
+        serial = GlobalPlacer(load_benchmark("sb_mini_4", scale=0.4), config).run()
+        placer = GlobalPlacer(load_benchmark("sb_mini_4", scale=0.4), config)
+        runner = SerialShardRunner(shards)
+        placer.wirelength._runner = runner
+        placer.wirelength._runner_resolved = True
+        placer.density._runner = runner
+        placer.density._runner_resolved = True
+        sharded = placer.run()
+        assert np.array_equal(serial.x, sharded.x)
+        assert np.array_equal(serial.y, sharded.y)
+
+    def test_history_every_is_trajectory_neutral(self):
+        base = GlobalPlacer(
+            load_benchmark("sb_mini_4", scale=0.4),
+            PlacementConfig(max_iterations=25, min_iterations=5, seed=0),
+        ).run()
+        sparse = GlobalPlacer(
+            load_benchmark("sb_mini_4", scale=0.4),
+            PlacementConfig(max_iterations=25, min_iterations=5, seed=0, history_every=7),
+        ).run()
+        assert np.array_equal(base.x, sparse.x)
+        assert np.array_equal(base.y, sparse.y)
+        assert base.hpwl == sparse.hpwl  # recomputed after an unrecorded last iter
+        assert sparse.history.iterations == [
+            i for i in base.history.iterations if i % 7 == 0
+        ]
+        assert sparse.history.hpwl == [
+            h for i, h in zip(base.history.iterations, base.history.hpwl) if i % 7 == 0
+        ]
+
+    def test_history_every_validation(self):
+        placer = GlobalPlacer(
+            load_benchmark("sb_mini_4", scale=0.3),
+            PlacementConfig(max_iterations=1, history_every=0),
+        )
+        with pytest.raises(ValueError, match="history_every"):
+            placer.run()
+
+    def test_steady_state_arena_allocations_stop_growing(self):
+        placer = GlobalPlacer(
+            load_benchmark("sb_mini_4", scale=0.4),
+            PlacementConfig(max_iterations=6, min_iterations=6, seed=0),
+        )
+        placer.run()
+        steady = placer.arena.allocations
+        assert steady > 0
+        # Keep stepping the already-warm loop: no new arena buffers.
+        placer._optimizer.step_once(placer._gradient)
+        placer._optimizer.step_once(placer._gradient)
+        assert placer.arena.allocations == steady
+
+    def test_gradient_seconds_populated(self):
+        placer = GlobalPlacer(
+            load_benchmark("sb_mini_4", scale=0.3),
+            PlacementConfig(max_iterations=3, min_iterations=3, seed=0),
+        )
+        placer.run()
+        assert set(placer.gradient_seconds) == {
+            "wirelength",
+            "density",
+            "extra",
+            "scatter",
+        }
+        assert all(v >= 0.0 for v in placer.gradient_seconds.values())
+        assert placer.gradient_seconds["wirelength"] > 0.0
+
+    def test_optimizer_does_not_alias_reused_gradient_buffers(self):
+        """grad_fn may return the same buffers every call (the arena does);
+        the optimizer must keep its own BB history copies."""
+        from repro.placement.nesterov import NesterovOptimizer
+
+        rng = np.random.default_rng(0)
+        n = 32
+        x0 = rng.uniform(0, 100, n)
+        y0 = rng.uniform(0, 100, n)
+        mask = np.ones(n, dtype=bool)
+        gx_buf = np.empty(n)
+        gy_buf = np.empty(n)
+
+        def grad_reused(x, y):
+            gx_buf[:] = 0.1 * (x - 50.0)
+            gy_buf[:] = 0.1 * (y - 50.0)
+            return gx_buf, gy_buf
+
+        def grad_fresh(x, y):
+            return 0.1 * (x - 50.0), 0.1 * (y - 50.0)
+
+        opt_a = NesterovOptimizer(x0, y0, movable_mask=mask, min_step=0.01, max_step=10.0)
+        opt_b = NesterovOptimizer(x0, y0, movable_mask=mask, min_step=0.01, max_step=10.0)
+        for _ in range(10):
+            xa, ya = opt_a.step_once(grad_reused)
+            xb, yb = opt_b.step_once(grad_fresh)
+            assert np.array_equal(xa, xb)
+            assert np.array_equal(ya, yb)
+            assert opt_a.step == opt_b.step
+
+    def test_optimizer_returns_fresh_major_arrays(self):
+        """Returned solutions escape to history/results: never recycled."""
+        from repro.placement.nesterov import NesterovOptimizer
+
+        rng = np.random.default_rng(1)
+        n = 16
+        opt = NesterovOptimizer(
+            rng.uniform(0, 10, n),
+            rng.uniform(0, 10, n),
+            movable_mask=np.ones(n, dtype=bool),
+            min_step=0.01,
+            max_step=5.0,
+        )
+
+        def grad(x, y):
+            return 0.05 * x, 0.05 * y
+
+        seen = []
+        for _ in range(6):
+            x, y = opt.step_once(grad)
+            for old_x, old_y, _, _ in seen:
+                assert old_x is not x and old_y is not y
+            seen.append((x, y, x.copy(), y.copy()))
+        # Earlier solutions must be untouched by later iterations.
+        for old_x, old_y, snap_x, snap_y in seen[:-1]:
+            assert np.array_equal(old_x, snap_x)
+            assert np.array_equal(old_y, snap_y)
