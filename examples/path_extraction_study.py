@@ -32,7 +32,7 @@ def main() -> None:
     print(f"{name}: {n} failing endpoints, WNS {result.wns:.1f} ps, TNS {result.tns:.1f} ps\n")
 
     rows = []
-    for label, (paths, stats) in {
+    for label, (_paths, stats) in {
         "report_timing(n)": report_timing(engine, n, failing_only=True,
                                           max_paths_per_endpoint=16),
         "report_timing_endpoint(n,1)": report_timing_endpoint(engine, n, 1, failing_only=True),

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the contract linter as a module entry."""
+
+import sys
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""The repo's machine-checked contracts: registries the lint rules consume.
+
+This module is the single place where "which code is held to which
+invariant" is written down.  The rules in :mod:`repro.analysis.rules` are
+generic AST checks; everything repo-specific (which functions are
+steady-state, which packages may not import which, what counts as an
+allocating constructor) lives here so growing the contract surface is a
+one-line registry edit, not a rule rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def steady_state(fn: _F) -> _F:
+    """Mark a function as part of a zero-allocation steady-state loop.
+
+    Purely declarative — the decorator returns ``fn`` unchanged at runtime;
+    the contract linter recognizes it *syntactically* (any decorator named
+    ``steady_state``) and applies the ``alloc`` rule to the function body.
+    Existing hot paths are covered by :data:`STEADY_STATE_FUNCTIONS` instead
+    so the production modules don't need to import the analysis package.
+    """
+    return fn
+
+
+# ----------------------------------------------------------------------
+# alloc: steady-state functions (module path suffix -> qualified names).
+#
+# Keys are paths relative to the ``repro`` package root; values name the
+# functions (``Class.method`` or ``function``) whose bodies may not call
+# allocating NumPy constructors outside a ``# contract: allow(alloc)``
+# pragma.  This is the GP gradient path: every function here runs once (or
+# more) per placement iteration, ~600 times per run.
+# ----------------------------------------------------------------------
+STEADY_STATE_FUNCTIONS: Dict[str, FrozenSet[str]] = {
+    "placement/wirelength.py": frozenset(
+        {
+            "WeightedAverageWirelength.evaluate",
+            "WeightedAverageWirelength._directional",
+            "WeightedAverageWirelength._evaluate_pooled",
+            "WeightedAverageWirelength._buffer",
+            "WeightedAverageWirelength._zeros_buffer",
+        }
+    ),
+    "placement/density.py": frozenset(
+        {
+            "ElectrostaticDensity.evaluate",
+            "ElectrostaticDensity.overflow",
+            "ElectrostaticDensity._splat",
+            "ElectrostaticDensity._splat_parallel",
+            "ElectrostaticDensity._deposit",
+            "ElectrostaticDensity._solve_field",
+            "ElectrostaticDensity._sample_field",
+            "ElectrostaticDensity._corner_indices",
+            "ElectrostaticDensity._buffer",
+        }
+    ),
+    "placement/nesterov.py": frozenset(
+        {
+            "NesterovOptimizer.step_once",
+            "NesterovOptimizer._bb_step",
+            "NesterovOptimizer._take_ref",
+            "NesterovOptimizer.reset_momentum",
+        }
+    ),
+    "placement/objective.py": frozenset({"PlacementObjective.evaluate_extra"}),
+    "placement/global_placer.py": frozenset(
+        {"GlobalPlacer._gradient", "GlobalPlacer._derive_density_weight"}
+    ),
+    "core/pin_attraction.py": frozenset({"PinAttractionObjective.evaluate"}),
+}
+
+# Allocating NumPy constructors (``np.<name>(...)``) banned in steady-state
+# bodies.  ``np.bincount`` is deliberately absent: it has no ``out=`` form
+# and the scatter plans are built around its sequential-fold bit-exactness.
+ALLOCATING_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "empty_like",
+        "zeros_like",
+        "ones_like",
+        "full_like",
+        "concatenate",
+        "copy",
+        "append",
+        "arange",
+        "repeat",
+        "tile",
+        "stack",
+        "hstack",
+        "vstack",
+        "column_stack",
+    }
+)
+
+# Binary (and gather) ufunc-style calls that must pass ``out=`` in
+# steady-state bodies — without it each call allocates a fresh result array
+# every iteration.  Unary ufuncs are not enforced (the hot paths stage them
+# through ``out=`` anyway, but e.g. ``np.sqrt`` on a scalar is harmless).
+OUT_REQUIRED_CALLS: FrozenSet[str] = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "true_divide",
+        "floor_divide",
+        "power",
+        "maximum",
+        "minimum",
+        "fmax",
+        "fmin",
+        "mod",
+        "remainder",
+        "hypot",
+        "arctan2",
+        "logaddexp",
+        "take",
+    }
+)
+
+# ----------------------------------------------------------------------
+# kernel-purity: order-independent reductions allowed in worker kernels.
+#
+# ``np.maximum.at`` / ``np.minimum.reduceat`` etc. are exact under any shard
+# decomposition (IEEE min/max is associative and commutative for NaN-free
+# input); every other ``ufunc.at`` / ``ufunc.reduceat`` is an
+# order-sensitive float fold that only the parent replay may perform.
+# ----------------------------------------------------------------------
+ORDER_INDEPENDENT_UFUNCS: FrozenSet[str] = frozenset({"maximum", "minimum"})
+
+# Decorator names that mark a function as a worker kernel.
+KERNEL_DECORATORS: FrozenSet[str] = frozenset({"register_kernel"})
+
+# Names whose call inside a kernel means nondeterminism or side effects.
+KERNEL_BANNED_MODULES: FrozenSet[str] = frozenset({"random", "time", "datetime"})
+KERNEL_BANNED_CALLS: FrozenSet[str] = frozenset(
+    {"open", "print", "input", "default_rng", "make_rng", "seed"}
+)
+
+# ----------------------------------------------------------------------
+# layering: package import constraints.
+#
+# Engine-layer packages may not import the flow/CLI layer at module scope
+# (lazy imports inside functions are the sanctioned seam — e.g. the
+# ``route/flow.py`` retrofit helpers); the kernel module may never import
+# the pool engine (workers resolve kernels from the registry precisely so
+# they do not pull in pool machinery).
+# ----------------------------------------------------------------------
+LAYERED_PACKAGES: Tuple[str, ...] = ("netlist", "placement", "timing", "route")
+FORBIDDEN_LAYER_IMPORTS: Tuple[str, ...] = ("repro.flow", "repro.cli")
+
+# path-suffix -> module prefixes it may not import at any scope.
+WORKER_MODULE_FORBIDDEN_IMPORTS: Dict[str, Tuple[str, ...]] = {
+    "parallel/kernels.py": ("repro.parallel.engine",),
+}
+
+
+def repro_subpath(posix_path: str) -> str:
+    """The path suffix after the last ``repro/`` path component (or "")."""
+    parts = posix_path.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return ""

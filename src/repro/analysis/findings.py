@@ -1,0 +1,76 @@
+"""Structured findings emitted by the contract-lint rules.
+
+A :class:`Finding` pins one contract violation to a file:line with the rule
+id that produced it, a human-readable message, and a suppression hint (the
+exact pragma that would silence it).  Findings survive pragma processing —
+suppressed findings stay in the report with ``suppressed=True`` and the
+pragma's ``reason`` attached, so ``--json`` output can diff the *complete*
+picture across commits, not just the failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class Finding:
+    """One contract violation at a specific source location."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    col: int = 0
+    suppressed: bool = False
+    reason: Optional[str] = None
+
+    @property
+    def hint(self) -> str:
+        """The pragma that would suppress this finding (with a reason)."""
+        return f"# contract: allow({self.rule}) reason=<why this is safe>"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.file}:{self.line}:{self.col}: [{self.rule}]{mark} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one contract-lint run."""
+
+    findings: list = field(default_factory=list)
+    files_scanned: int = 0
+    paths: list = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list:
+        return [f for f in self.findings if f.suppressed]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "paths": list(self.paths),
+            "files_scanned": self.files_scanned,
+            "counts": {
+                "total": len(self.findings),
+                "unsuppressed": len(self.unsuppressed),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+        }

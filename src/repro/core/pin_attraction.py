@@ -40,6 +40,13 @@ class PinPairSet:
         self.w1 = float(w1)
         self.max_weight = max_weight
         self._weights: Dict[Tuple[int, int], float] = {}
+        # Bumped on every mutation; consumers key derived-array caches on it.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter identifying the current pair-set contents."""
+        return self._version
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -56,6 +63,7 @@ class PinPairSet:
 
     def clear(self) -> None:
         self._weights.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     def update_from_paths(
@@ -87,11 +95,13 @@ class PinPairSet:
                     if self.max_weight is not None:
                         updated = min(updated, self.max_weight)
                     self._weights[pair] = updated
+        self._version += 1
         return added
 
     def set_weights(self, weights: Mapping[Tuple[int, int], float]) -> None:
         """Replace the pair set wholesale (used by smoothed baselines)."""
         self._weights = dict(weights)
+        self._version += 1
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(pin_i, pin_j, weight)`` arrays for vectorized evaluation."""
@@ -141,22 +151,45 @@ class PinAttractionObjective:
         self._pin_offset_x = arrays.pin_offset_x
         self._pin_offset_y = arrays.pin_offset_y
         self._movable_mask = arrays.movable_mask
+        self._fixed_mask = ~arrays.movable_mask
         self._num_instances = arrays.num_instances
         self.last_snapshot = AttractionSnapshot(0.0, 0, 0.0)
 
+        # Derived pair arrays and the 2m scatter staging buffer, rebuilt only
+        # when the pair set's version changes (timing epochs), so the per-
+        # iteration evaluate allocates nothing pair-shaped.  The shared zero
+        # gradients cover the empty-set phase before any paths arrive;
+        # callers must treat returned gradients as borrowed.
+        self._cached_version = -1
+        self._pin_i = self._pin_j = self._pair_w = None
+        self._inst_i = self._inst_j = None
+        self._scatter_idx = None
+        self._scatter_w = None
+        self._zero_grad_x = np.zeros(self._num_instances, dtype=np.float64)
+        self._zero_grad_y = np.zeros(self._num_instances, dtype=np.float64)
+
+    def _pair_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Current pair arrays plus cached instance ids / scatter staging
+        (re-derived only when the pair set has been mutated)."""
+        if self._cached_version != self.pairs.version:
+            pin_i, pin_j, weights = self.pairs.as_arrays()
+            self._pin_i, self._pin_j, self._pair_w = pin_i, pin_j, weights
+            self._inst_i = self._pin_instance[pin_i]
+            self._inst_j = self._pin_instance[pin_j]
+            self._scatter_idx = np.concatenate([self._inst_i, self._inst_j])
+            self._scatter_w = np.empty(2 * pin_i.size, dtype=np.float64)
+            self._cached_version = self.pairs.version
+        return self._pin_i, self._pin_j, self._pair_w
+
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
         """Raw PP value and its gradient with respect to instance positions."""
-        pin_i, pin_j, weights = self.pairs.as_arrays()
+        pin_i, pin_j, weights = self._pair_arrays()
         if pin_i.size == 0:
             self.last_snapshot = AttractionSnapshot(0.0, 0, 0.0)
-            return (
-                0.0,
-                np.zeros(self._num_instances, dtype=np.float64),
-                np.zeros(self._num_instances, dtype=np.float64),
-            )
+            return 0.0, self._zero_grad_x, self._zero_grad_y
 
-        inst_i = self._pin_instance[pin_i]
-        inst_j = self._pin_instance[pin_j]
+        inst_i = self._inst_i
+        inst_j = self._inst_j
         xi = x[inst_i] + self._pin_offset_x[pin_i]
         yi = y[inst_i] + self._pin_offset_y[pin_i]
         xj = x[inst_j] + self._pin_offset_x[pin_j]
@@ -168,20 +201,22 @@ class PinAttractionObjective:
         # rigid, so pin gradients transfer directly onto their instances).
         # One bincount over the concatenated endpoints reproduces the two
         # sequential np.add.at scatters bit for bit (sequential fold in
-        # input order) without the unbuffered-scatter cost.
-        idx = np.concatenate([inst_i, inst_j])
+        # input order); the concatenation itself stages through the reused
+        # 2m buffer (copy + exact sign-bit negation — no rounding).
+        m = pin_i.size
+        buf = self._scatter_w
+        buf[:m] = grad_dx
+        np.negative(grad_dx, out=buf[m:])
         grad_x = np.bincount(
-            idx,
-            weights=np.concatenate([grad_dx, -grad_dx]),
-            minlength=self._num_instances,
+            self._scatter_idx, weights=buf, minlength=self._num_instances
         )
+        buf[:m] = grad_dy
+        np.negative(grad_dy, out=buf[m:])
         grad_y = np.bincount(
-            idx,
-            weights=np.concatenate([grad_dy, -grad_dy]),
-            minlength=self._num_instances,
+            self._scatter_idx, weights=buf, minlength=self._num_instances
         )
-        grad_x[~self._movable_mask] = 0.0
-        grad_y[~self._movable_mask] = 0.0
+        grad_x[self._fixed_mask] = 0.0
+        grad_y[self._fixed_mask] = 0.0
 
         self.last_snapshot = AttractionSnapshot(
             value=value, num_pairs=int(pin_i.size), total_weight=float(weights.sum())

@@ -241,6 +241,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="number of hotspot bins to list"
     )
     _add_common(cong_p)
+
+    lint_p = sub.add_parser(
+        "lint-contracts",
+        help="run the contract linter (kernel purity, alloc discipline, "
+        "shm lifecycle, ref parity, layering)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint"
+    )
+    lint_p.add_argument(
+        "--tests-dir",
+        default="tests",
+        help="tests directory for the ref-parity coverage check ('' to skip)",
+    )
+    lint_p.add_argument(
+        "--rule", action="append", dest="rules", help="run only this rule (repeatable)"
+    )
+    lint_p.add_argument(
+        "--json", default=None, help="write findings JSON to PATH ('-' for stdout)"
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    lint_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-finding text output"
+    )
     return parser
 
 
@@ -359,7 +385,7 @@ def _profile_payload(
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    designs = benchmark_names() if getattr(args, "all") else list(args.designs)
+    designs = benchmark_names() if args.all else list(args.designs)
     if not designs:
         raise SystemExit("repro batch: name at least one design or pass --all")
     _check_designs(designs)
@@ -546,12 +572,37 @@ def _cmd_congestion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_contracts(args: argparse.Namespace) -> int:
+    # Lazy import: the analysis package is pure stdlib but there is no
+    # reason to parse rule modules for flow commands.
+    from repro.analysis import engine as analysis_engine
+
+    if args.list_rules:
+        from repro.analysis.rules import RULE_DESCRIPTIONS, rule_ids
+
+        for rule_id in rule_ids():
+            print(f"{rule_id}: {RULE_DESCRIPTIONS[rule_id]}")
+        return 0
+    tests_dir = args.tests_dir if args.tests_dir else None
+    try:
+        report = analysis_engine.run_lint(
+            args.paths, tests_dir=tests_dir, rules=args.rules
+        )
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro lint-contracts: error: {message}", file=sys.stderr)
+        return 2
+    analysis_engine._emit_report(report, args)
+    return 1 if report.unsuppressed else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "batch": _cmd_batch,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "congestion": _cmd_congestion,
+    "lint-contracts": _cmd_lint_contracts,
 }
 
 

@@ -107,6 +107,21 @@ class ElectrostaticDensity:
         self._rho = np.empty((self.num_bins_x, self.num_bins_y), dtype=np.float64)
         self._field_u = np.empty_like(self._rho)
         self._field_v = np.empty_like(self._rho)
+        # Corner-index/overflow scratch for the steady-state splat + sample
+        # paths (PR 8: the alloc contract bans per-call astype/minimum
+        # temporaries on the gradient path).
+        self._iu = np.empty(num_movable_cells, dtype=np.int64)
+        self._iv = np.empty(num_movable_cells, dtype=np.int64)
+        self._iu1 = np.empty(num_movable_cells, dtype=np.int64)
+        self._iv1 = np.empty(num_movable_cells, dtype=np.int64)
+        self._floor_u = np.empty(num_movable_cells, dtype=np.float64)
+        self._floor_v = np.empty(num_movable_cells, dtype=np.float64)
+        self._over = np.empty_like(self._rho)
+
+        # Optional buffer arena (attached by the placer) backing the
+        # per-instance gradient accumulators; standalone callers keep
+        # fresh-array semantics via the np.zeros fallback in _buffer.
+        self.arena = None
 
         # Precompute DCT frequencies for the Poisson solve.
         wx = np.pi * np.arange(self.num_bins_x) / self.num_bins_x / self.bin_w
@@ -255,12 +270,7 @@ class ElectrostaticDensity:
         v = (cy - die.yl) / self.bin_h - 0.5
         u = np.clip(u, 0.0, self.num_bins_x - 1.0)
         v = np.clip(v, 0.0, self.num_bins_y - 1.0)
-        iu = np.floor(u).astype(np.int64)
-        iv = np.floor(v).astype(np.int64)
-        iu1 = np.minimum(iu + 1, self.num_bins_x - 1)
-        iv1 = np.minimum(iv + 1, self.num_bins_y - 1)
-        fu = u - iu
-        fv = v - iv
+        iu, iv, iu1, iv1, fu, fv = self._corner_indices(u, v)
         return self._deposit(
             iu, iv, iu1, iv1,
             self._area * (1 - fu) * (1 - fv),
@@ -268,6 +278,30 @@ class ElectrostaticDensity:
             self._area * (1 - fu) * fv,
             self._area * fu * fv,
         )
+
+    def _corner_indices(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Corner bin indices and fractional offsets, staged through owned
+        buffers.  Bitwise identical to the legacy temporaries: the int-buffer
+        setitem truncates exactly like ``.astype(np.int64)`` on the floored
+        values, the int64→float64 round trip of a floor result is exact (so
+        ``u - floor(u)`` matches ``u - iu``), and integer add/min have no
+        rounding at all.  ``u``/``v`` are consumed in place and returned as
+        the fractional parts."""
+        iu, iv, iu1, iv1 = self._iu, self._iv, self._iu1, self._iv1
+        floor_u, floor_v = self._floor_u, self._floor_v
+        np.floor(u, out=floor_u)
+        iu[...] = floor_u
+        np.floor(v, out=floor_v)
+        iv[...] = floor_v
+        np.add(iu, 1, out=iu1)
+        np.minimum(iu1, self.num_bins_x - 1, out=iu1)
+        np.add(iv, 1, out=iv1)
+        np.minimum(iv1, self.num_bins_y - 1, out=iv1)
+        np.subtract(u, floor_u, out=u)
+        np.subtract(v, floor_v, out=v)
+        return iu, iv, iu1, iv1, u, v
 
     def _reference_splat(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Pre-plan splat via four ``np.add.at`` deposits (slow; kept as the
@@ -343,12 +377,7 @@ class ElectrostaticDensity:
         cy = y[self._movable] + self._half_h
         u = np.clip((cx - die.xl) / self.bin_w - 0.5, 0.0, self.num_bins_x - 1.0)
         v = np.clip((cy - die.yl) / self.bin_h - 0.5, 0.0, self.num_bins_y - 1.0)
-        iu = np.floor(u).astype(np.int64)
-        iv = np.floor(v).astype(np.int64)
-        iu1 = np.minimum(iu + 1, self.num_bins_x - 1)
-        iv1 = np.minimum(iv + 1, self.num_bins_y - 1)
-        fu = u - iu
-        fv = v - iv
+        iu, iv, iu1, iv1, fu, fv = self._corner_indices(u, v)
         return (
             field[iu, iv] * (1 - fu) * (1 - fv)
             + field[iu1, iv] * fu * (1 - fv)
@@ -356,22 +385,38 @@ class ElectrostaticDensity:
             + field[iu1, iv1] * fu * fv
         )
 
+    def _buffer(self, name: str, size: int) -> np.ndarray:
+        if self.arena is not None:
+            return self.arena.zeros(name, size)
+        # contract: allow(alloc) reason=fallback for standalone calls with no arena attached
+        return np.zeros(size, dtype=np.float64)
+
     # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> DensityResult:
-        """Density energy, per-instance gradient, and overflow at ``(x, y)``."""
+        """Density energy, per-instance gradient, and overflow at ``(x, y)``.
+
+        With an arena attached the gradient arrays in the result are reused
+        buffers, invalidated by the next ``evaluate`` — the placer consumes
+        them within the iteration; callers that hold results across
+        evaluations must copy (same contract as the wirelength model).
+        """
         density = self._splat(x, y)
         psi, ex, ey = self._solve_field(density)
 
         energy = 0.5 * float(np.sum(density / self.bin_area * psi))
 
         num_instances = self.core.num_instances
-        grad_x = np.zeros(num_instances, dtype=np.float64)
-        grad_y = np.zeros(num_instances, dtype=np.float64)
+        grad_x = self._buffer("density_grad_x", num_instances)
+        grad_y = self._buffer("density_grad_y", num_instances)
         grad_x[self._movable] = -self._area * self._sample_field(ex, x, y)
         grad_y[self._movable] = -self._area * self._sample_field(ey, x, y)
 
+        # Staged form of ``np.maximum(density - capacity, 0.0)`` — same
+        # subtract-then-clamp rounding, reused grid buffer.
         capacity = self.target_density * self.bin_area
-        over = np.maximum(density - capacity, 0.0)
+        over = self._over
+        np.subtract(density, capacity, out=over)
+        np.maximum(over, 0.0, out=over)
         overflow = float(over.sum() / max(self._total_movable_area, 1e-12))
         max_density = float(density.max() / self.bin_area) if density.size else 0.0
         return DensityResult(
@@ -386,5 +431,7 @@ class ElectrostaticDensity:
         """Density overflow only (cheaper than a full evaluate when no solve is needed)."""
         density = self._splat(x, y)
         capacity = self.target_density * self.bin_area
-        over = np.maximum(density - capacity, 0.0)
+        over = self._over
+        np.subtract(density, capacity, out=over)
+        np.maximum(over, 0.0, out=over)
         return float(over.sum() / max(self._total_movable_area, 1e-12))

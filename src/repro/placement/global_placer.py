@@ -144,6 +144,7 @@ class GlobalPlacer:
         # ``repro run --profile`` attribution.
         self.arena = IterationArena()
         self.wirelength.arena = self.arena
+        self.density.arena = self.arena
         self.gradient_seconds: Dict[str, float] = {
             "wirelength": 0.0,
             "density": 0.0,

@@ -110,6 +110,7 @@ class NesterovOptimizer:
         return float(np.clip(step, self.min_step, self.max_step))
 
     def _take_ref(self, pool: List[np.ndarray], like: np.ndarray) -> np.ndarray:
+        # contract: allow(alloc) reason=pool warm-up only; steady-state iterations pop recycled buffers
         return pool.pop() if pool else np.empty_like(like)
 
     def step_once(
@@ -128,7 +129,9 @@ class NesterovOptimizer:
         grad_x, grad_y = grad_fn(state.reference_x, state.reference_y)
         self.step = self._bb_step(state.reference_x, state.reference_y, grad_x, grad_y)
 
+        # contract: allow(alloc) reason=the new major escapes to the caller (history, result) and must stay fresh
         new_major_x = state.reference_x.copy()
+        # contract: allow(alloc) reason=the new major escapes to the caller (history, result) and must stay fresh
         new_major_y = state.reference_y.copy()
         new_major_x[mask] -= self.step * grad_x[mask]
         new_major_y[mask] -= self.step * grad_y[mask]

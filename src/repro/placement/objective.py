@@ -75,7 +75,9 @@ class PlacementObjective:
         so results are bitwise identical to the allocating form.
         """
         values: List[float] = []
+        # contract: allow(alloc) reason=fallback accumulators when the caller supplies no arena buffers
         grad_x = np.zeros(num_instances, dtype=np.float64) if out_x is None else out_x
+        # contract: allow(alloc) reason=fallback accumulators when the caller supplies no arena buffers
         grad_y = np.zeros(num_instances, dtype=np.float64) if out_y is None else out_y
         if out_x is not None:
             grad_x.fill(0.0)

@@ -125,8 +125,12 @@ class WeightedAverageWirelength:
         self._seg_id = np.repeat(
             np.arange(self._valid_nets.size, dtype=np.int64), valid_counts
         )
-        # Precomputed pin→instance targets for the bincount scatter.
+        # Precomputed pin→instance targets for the bincount scatter, the
+        # pooled path's segment bounds, and the default unit net weights
+        # (shared read-only when the caller passes none).
         self._pin_inst = core.pin_instance[self._csr_pins]
+        self._seg_bounds = np.append(self._seg_starts, np.int64(self._csr_pins.size))
+        self._unit_weights = np.ones(self._num_nets, dtype=np.float64)
 
         # Optional buffer arena (set by the placer).
         self.arena = None
@@ -148,6 +152,7 @@ class WeightedAverageWirelength:
     def _buffer(self, name: str, size: int) -> np.ndarray:
         if self.arena is not None:
             return self.arena.array(name, size)
+        # contract: allow(alloc) reason=fallback for standalone calls with no arena attached
         return np.empty(size, dtype=np.float64)
 
     def evaluate(
@@ -166,7 +171,7 @@ class WeightedAverageWirelength:
         gathers them itself.
         """
         weights = (
-            np.ones(self._num_nets, dtype=np.float64)
+            self._unit_weights
             if net_weights is None
             else np.asarray(net_weights, dtype=np.float64)
         )
@@ -215,7 +220,7 @@ class WeightedAverageWirelength:
         per_net = self._zeros_buffer(f"wl_per_net_{axis}", self._num_nets)
         if num_valid == 0:
             value = float(np.sum(per_net * net_weights))
-            return value, np.zeros(0, dtype=np.float64)
+            return value, c[:0]
 
         # Per-net extrema over the compact segment ids.  ``maximum.at`` /
         # ``minimum.at`` outrun ``reduceat`` for these folds, and IEEE
@@ -246,9 +251,19 @@ class WeightedAverageWirelength:
         sum_neg = np.bincount(seg, weights=exp_neg, minlength=num_valid)
         sum_cneg = np.bincount(seg, weights=work, minlength=num_valid)
 
-        with np.errstate(invalid="ignore", divide="ignore"):
-            wa_max = np.where(sum_pos > 0, sum_cpos / np.maximum(sum_pos, 1e-300), 0.0)
-            wa_min = np.where(sum_neg > 0, sum_cneg / np.maximum(sum_neg, 1e-300), 0.0)
+        # max(sum, 1e-300) keeps the division finite everywhere, so staging
+        # it (maximum → divide into reused buffers, then overwrite the
+        # empty-mass entries with the literal 0.0) selects exactly the bits
+        # the legacy np.where expression produced.
+        wa_max = self._buffer(f"wl_wa_max_{axis}", num_valid)
+        wa_min = self._buffer(f"wl_wa_min_{axis}", num_valid)
+        den = self._buffer(f"wl_den_{axis}", num_valid)
+        np.maximum(sum_pos, 1e-300, out=den)
+        np.divide(sum_cpos, den, out=wa_max)
+        wa_max[sum_pos <= 0.0] = 0.0
+        np.maximum(sum_neg, 1e-300, out=den)
+        np.divide(sum_cneg, den, out=wa_min)
+        wa_min[sum_neg <= 0.0] = 0.0
         per_net[self._valid_nets] = wa_max - wa_min
         value = float(np.sum(per_net * net_weights))
 
@@ -293,6 +308,7 @@ class WeightedAverageWirelength:
     def _zeros_buffer(self, name: str, size: int) -> np.ndarray:
         if self.arena is not None:
             return self.arena.zeros(name, size)
+        # contract: allow(alloc) reason=fallback for standalone calls with no arena attached
         return np.zeros(size, dtype=np.float64)
 
     # ------------------------------------------------------------------
@@ -353,7 +369,7 @@ class WeightedAverageWirelength:
         views["x"][...] = x
         views["y"][...] = y
         views["net_w"][...] = weights[self._valid_nets]
-        seg_bounds = np.append(self._seg_starts, self._csr_pins.size)
+        seg_bounds = self._seg_bounds
         tasks = [
             (s, e, int(seg_bounds[s]), int(seg_bounds[e]), self.gamma)
             for s, e in split_ranges(self._valid_nets.size, runner.workers)

@@ -1,0 +1,16 @@
+"""Fixture: @steady_state function breaking the allocation contract."""
+
+import numpy as np
+
+
+def steady_state(fn):
+    return fn
+
+
+@steady_state
+def hot_loop_body(state, grad):
+    scratch = np.zeros(grad.size, dtype=np.float64)
+    scaled = np.multiply(grad, 0.5)
+    total = state.work.copy()
+    casted = grad.astype(np.int64)
+    return scratch, scaled, total, casted

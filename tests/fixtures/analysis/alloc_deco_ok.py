@@ -1,0 +1,24 @@
+"""Fixture: @steady_state function honoring the allocation contract."""
+
+import numpy as np
+
+
+def steady_state(fn):
+    return fn
+
+
+@steady_state
+def hot_loop_body(state, grad):
+    np.multiply(grad, 0.5, out=state.work)
+    np.maximum(state.work, 1.0, out=state.work)
+    np.copyto(state.copy_buf, grad)
+    state.int_buf[...] = state.work
+    total = float(np.sum(state.work))
+    folded = np.bincount(state.idx, weights=state.work, minlength=8)
+    viewed = grad.astype(np.float64, copy=False)
+    return total, folded, viewed
+
+
+def cold_path_setup(n):
+    # Not steady-state: allocation is fine here.
+    return np.zeros(n, dtype=np.float64)

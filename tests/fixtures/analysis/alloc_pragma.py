@@ -1,0 +1,20 @@
+"""Fixture: pragma suppression — one valid waiver, one reasonless pragma."""
+
+import numpy as np
+
+
+def steady_state(fn):
+    return fn
+
+
+@steady_state
+def suppressed_fallback(arena, n):
+    if arena is not None:
+        return arena.array("buf", n)
+    # contract: allow(alloc) reason=fallback when no arena is attached
+    return np.empty(n, dtype=np.float64)
+
+
+@steady_state
+def reasonless_pragma(n):
+    return np.zeros(n, dtype=np.float64)  # contract: allow(alloc)

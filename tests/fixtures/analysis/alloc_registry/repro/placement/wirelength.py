@@ -1,0 +1,17 @@
+"""Fixture: registry-covered steady-state method allocating (path-keyed).
+
+The file lives under a fake ``repro/placement/`` tree so the linter's
+path-suffix registry applies exactly as it does to the production module.
+"""
+
+import numpy as np
+
+
+class WeightedAverageWirelength:
+    def evaluate(self, x, y):
+        grad = np.zeros(x.size, dtype=np.float64)
+        return grad
+
+    def cold_rebuild(self, x):
+        # Not in the registry: free to allocate.
+        return np.zeros(x.size, dtype=np.float64)

@@ -1,0 +1,20 @@
+"""Fixture test naming both halves of the refparity_ok pair."""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_refparity_ok():
+    path = Path(__file__).resolve().parent.parent / "refparity_ok.py"
+    spec = importlib.util.spec_from_file_location("analysis_refparity_ok", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fold_matches_reference_fold():
+    module = _load_refparity_ok()
+    values = np.arange(5, dtype=np.float64)
+    assert module.fold(values) == module._reference_fold(values)

@@ -1,0 +1,47 @@
+"""Fixture: worker kernels violating every kernel-purity clause."""
+
+import time
+
+import numpy as np
+
+
+def register_kernel(name):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+@register_kernel("bad_scatter")
+def bad_scatter(arrays, start, end):
+    # Order-sensitive float fold inside a worker.
+    np.add.at(arrays["grid"], arrays["idx"][start:end], arrays["w"][start:end])
+    return None
+
+
+@register_kernel("bad_reduceat")
+def bad_reduceat(arrays, start, end):
+    return np.add.reduceat(arrays["w"][start:end], arrays["seg"][start:end])
+
+
+@register_kernel("bad_inplace")
+def bad_inplace(arrays, start, end):
+    arrays["grid"][arrays["idx"][start:end]] += arrays["w"][start:end]
+    return None
+
+
+@register_kernel("bad_rng")
+def bad_rng(arrays, start, end):
+    rng = np.random.default_rng(0)
+    return rng.normal(size=end - start)
+
+
+@register_kernel("bad_clock")
+def bad_clock(arrays, start, end):
+    return time.perf_counter()
+
+
+@register_kernel("bad_io")
+def bad_io(arrays, start, end):
+    print("worker side effect")
+    return None

@@ -1,0 +1,27 @@
+"""Fixture: a pure worker kernel (order-independent folds only)."""
+
+import numpy as np
+
+
+def register_kernel(name):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+@register_kernel("good_extrema")
+def good_extrema(arrays, start, end):
+    # IEEE min/max folds are order-independent; bincount runs in the
+    # parent replay, and disjoint-slice writes are race-free by contract.
+    cmax = arrays["cmax"]
+    cmax[start:end].fill(-np.inf)
+    np.maximum.at(cmax, arrays["seg"][start:end], arrays["c"][start:end])
+    np.minimum.reduceat(arrays["c"][start:end], arrays["bounds"][start:end])
+    arrays["out"][start:end] = arrays["c"][start:end]
+    return None
+
+
+def helper_outside_kernel(values):
+    # Not a kernel: free to use order-sensitive folds.
+    return np.add.reduceat(values, [0])

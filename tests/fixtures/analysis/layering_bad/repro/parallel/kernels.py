@@ -1,0 +1,7 @@
+"""Fixture: worker kernel module importing the pool engine (any scope)."""
+
+
+def resolve_pool(workers):
+    from repro.parallel.engine import KernelPool
+
+    return KernelPool(workers)

@@ -1,0 +1,7 @@
+"""Fixture: engine-layer module importing the flow layer at module scope."""
+
+from repro.flow.presets import build_flow
+
+
+def run_everything(design):
+    return build_flow("baseline").run(design)

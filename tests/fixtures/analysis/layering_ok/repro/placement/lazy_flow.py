@@ -1,0 +1,7 @@
+"""Fixture: engine-layer module using the sanctioned lazy-import seam."""
+
+
+def run_everything(design):
+    from repro.flow.presets import build_flow
+
+    return build_flow("baseline").run(design)

@@ -1,0 +1,17 @@
+"""Fixture: orphaned and untested _reference_* implementations."""
+
+import numpy as np
+
+
+def _reference_orphan(values):
+    # No fast-path twin named ``orphan`` or ``_orphan`` exists.
+    return float(np.sum(values))
+
+
+def _reference_untested(values):
+    # Twin exists below, but no fixture test names both functions.
+    return float(np.sum(values))
+
+
+def untested(values):
+    return float(np.sum(values))

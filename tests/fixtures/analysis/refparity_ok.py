@@ -1,0 +1,11 @@
+"""Fixture: a properly paired and tested _reference_* implementation."""
+
+import numpy as np
+
+
+def _reference_fold(values):
+    return float(np.sum(values))
+
+
+def fold(values):
+    return float(np.sum(values))

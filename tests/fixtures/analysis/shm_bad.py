@@ -1,0 +1,16 @@
+"""Fixture: SharedMemory(create=True) with no provable unlink path."""
+
+from multiprocessing import shared_memory
+
+
+def leaky_create(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    buf = shm.buf
+    return shm, buf
+
+
+def leaky_under_if(size, flag):
+    if flag:
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return shm
+    return None

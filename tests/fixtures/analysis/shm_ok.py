@@ -1,0 +1,40 @@
+"""Fixture: SharedMemory(create=True) cleaned up on every exit path."""
+
+import contextlib
+from multiprocessing import shared_memory
+
+
+def guarded_by_try(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def guarded_by_next_sibling(size):
+    # The repo's canonical shape: create, then immediately enter a try whose
+    # handler releases the segment on any failure.
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        shm.buf[:size] = b"\x00" * size
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm
+
+
+def guarded_by_exitstack(size):
+    with contextlib.ExitStack() as stack:
+        shm = stack.enter_context(
+            contextlib.closing(shared_memory.SharedMemory(create=True, size=size))
+        )
+        stack.callback(shm.unlink)
+        return bytes(shm.buf)
+
+
+def attach_only(name):
+    # create=False (attach) needs no unlink pairing here.
+    return shared_memory.SharedMemory(name=name)

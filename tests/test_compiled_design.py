@@ -355,7 +355,7 @@ class TestSharedDesignPackLifecycle:
             BatchJob(design="sb_mini_18", preset="dreamplace", scale=0.2),
             BatchJob(design="__no_such_design__"),
         ]
-        with pytest.raises(Exception):
+        with pytest.raises(KeyError, match="Unknown benchmark"):
             run_batch(jobs, max_workers=2, ship="shared")
         assert _shm_entries() == before
 

@@ -78,6 +78,21 @@ class TestWirelengthPlan:
         assert np.array_equal(model._csr_net, core.csr_net[isin_mask])
         assert np.array_equal(model._valid_nets, valid_nets)
 
+    def test_directional_matches_reference_directional_bitwise(self):
+        # Direct pairing of the staged axis kernel with its legacy twin
+        # (the whole-evaluate parity test above covers them only jointly).
+        design = _design("sb_mini_18", 0.5)
+        x, y = _positions(design, 7)
+        model = WeightedAverageWirelength(design, gamma=3.0)
+        weights = np.random.default_rng(7).uniform(0.25, 4.0, design.num_nets)
+        pin_x, pin_y = design.arrays.pin_positions(x, y)
+        for coord in (pin_x, pin_y):
+            c = coord[model._csr_pins]
+            value, grad = model._directional(c, weights, axis="x")
+            ref_value, ref_grad = model._reference_directional(coord, weights)
+            assert value == ref_value
+            assert np.array_equal(grad, ref_grad)
+
     def test_arena_reuse_is_bitwise_neutral_and_allocation_free(self):
         design = _design("sb_mini_4", 0.5)
         x, y = _positions(design, 7)

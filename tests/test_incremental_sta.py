@@ -51,7 +51,7 @@ class TestIncrementalParity:
         rng = np.random.default_rng(7)
         x, y = design.positions()
         x, y = x.copy(), y.copy()
-        for step in range(6):
+        for _step in range(6):
             _perturb(design, rng, x, y, max_cells=30)
             r_full = full.update_timing(x, y)
             r_inc = inc.update_timing(x, y)

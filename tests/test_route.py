@@ -287,7 +287,7 @@ class TestFlowIntegration:
 
     def test_repair_stage_requires_placement(self, fresh_small_design):
         runner = FlowRunner([RoutabilityRepairStage()])
-        with pytest.raises(Exception, match="after global_place"):
+        with pytest.raises(ValueError, match="after global_place"):
             runner.run(fresh_small_design)
 
     def test_congestion_stage_publishes_result(self, fresh_small_design):
