@@ -18,7 +18,12 @@ Measures, for a few sb_mini designs:
   GP run with the in-loop congestion net weighting at the
   ``routability-gp`` preset's default cadence versus the plain run — the
   feedback subsystem's per-update cost folded into real placement
-  iterations, gated at <= 15% overhead.
+  iterations, gated at <= 15% overhead;
+* tracing overhead: the same fixed-length plain GP run with the unified
+  tracer (``repro.obs``) active — final positions are asserted bitwise
+  identical in-bench, and the traced/plain wall ratio is gated at <= 3%
+  (``--max-tracing-overhead``); both numbers come from the same run, so
+  the gate holds on any host.
 
 Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
 successive PRs can track the numbers.
@@ -52,6 +57,7 @@ from repro.benchgen.suite import load_benchmark
 from repro.feedback import CongestionNetWeighting, FeedbackCadence
 from repro.netlist.compiled import compile_design
 from repro.netlist.core import as_core
+from repro.obs import start_tracing, stop_tracing
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.route.rudy import CongestionEstimator
 from repro.timing.mcmm import MultiCornerSTA
@@ -147,7 +153,7 @@ def bench_design(name: str) -> dict:
 
     # Congestion-weighted GP overhead: identical fixed-length placements
     # with and without the in-loop weighting feedback at default cadence.
-    def gp_run(weighted: bool) -> GlobalPlacer:
+    def gp_run(weighted: bool):
         config = PlacementConfig(
             max_iterations=GP_ITERATIONS, stop_overflow=0.0, seed=0
         )
@@ -156,11 +162,38 @@ def bench_design(name: str) -> dict:
             placer.add_feedback(
                 CongestionNetWeighting(), FeedbackCadence(**GP_CADENCE)
             )
-        placer.run()
-        return placer
+        result = placer.run()
+        return placer, result
 
-    gp_plain_seconds, _ = _time(lambda: gp_run(False), repeat=2)
-    gp_weighted_seconds, weighted_placer = _time(lambda: gp_run(True), repeat=2)
+    # Tracing overhead: the identical plain run with the unified tracer
+    # active.  The span ring sees every gp.iteration / gradient-term /
+    # profile span the run produces, so this is the real steady-state cost
+    # being budgeted, and the final positions must stay bitwise identical.
+    # The two walls are measured *interleaved* (plain, traced, plain, ...)
+    # because back-to-back best-of-N pairs pick up machine drift between
+    # the blocks that easily exceeds the 3% budget being gated.
+    def gp_traced_run():
+        stop_tracing()
+        start_tracing()
+        try:
+            return gp_run(False)
+        finally:
+            stop_tracing()
+
+    gp_plain_seconds = gp_traced_seconds = float("inf")
+    plain_result = traced_result = None
+    for _ in range(3):
+        seconds, (_, plain_result) = _time(lambda: gp_run(False), repeat=1)
+        gp_plain_seconds = min(gp_plain_seconds, seconds)
+        seconds, (_, traced_result) = _time(gp_traced_run, repeat=1)
+        gp_traced_seconds = min(gp_traced_seconds, seconds)
+    if not (
+        np.array_equal(plain_result.x, traced_result.x)
+        and np.array_equal(plain_result.y, traced_result.y)
+    ):
+        raise AssertionError(f"{name}: traced GP run differs from untraced")
+
+    gp_weighted_seconds, (weighted_placer, _) = _time(lambda: gp_run(True), repeat=2)
     gp_updates = int(weighted_placer.feedback.calls.get("congestion", 0))
     gp_update_seconds = weighted_placer.feedback.seconds.get("congestion", 0.0)
 
@@ -199,6 +232,13 @@ def bench_design(name: str) -> dict:
         "gp_weighting_updates": gp_updates,
         "gp_weighting_update_ms": round(
             1e3 * gp_update_seconds / max(gp_updates, 1), 3
+        ),
+        "gp_traced_ms": round(gp_traced_seconds * 1e3, 3),
+        # Paired same-run measurement: both walls come from this invocation,
+        # so the ratio transfers across hosts (bench_trend.py enforces it on
+        # fresh rows regardless of the recorded baseline's host profile).
+        "gp_tracing_overhead": round(
+            gp_traced_seconds / max(gp_plain_seconds, 1e-9) - 1.0, 4
         ),
     }
 
@@ -341,6 +381,7 @@ def check_against_baseline(
     max_mcmm_ratio: float,
     max_congestion_ms: float,
     max_gp_overhead: float,
+    max_tracing_overhead: float,
 ) -> int:
     """Perf gate: compare fresh numbers against the recorded baseline.
 
@@ -348,9 +389,11 @@ def check_against_baseline(
     slower than the recorded ``sta_full_ms`` for the same design, when
     the (hardware-independent) 4-corner/1-corner wall ratio exceeds
     ``max_mcmm_ratio``, when a congestion map build exceeds
-    ``max_congestion_ms`` (the routability subsystem's O(nets) budget), or
+    ``max_congestion_ms`` (the routability subsystem's O(nets) budget),
     when in-loop congestion weighting at default cadence costs more than
-    ``max_gp_overhead`` of the plain global-place wall time.
+    ``max_gp_overhead`` of the plain global-place wall time, or when the
+    traced GP run is more than ``max_tracing_overhead`` slower than the
+    paired untraced run (plus a 5ms absolute floor for scheduler jitter).
     """
     baseline_rows = {}
     if not baseline_path.exists():
@@ -391,6 +434,22 @@ def check_against_baseline(
                 f"{name}: congestion-weighted GP overhead {gp_overhead:.1%} "
                 f"exceeds the {max_gp_overhead:.0%} budget"
             )
+        # Paired same-run gate: plain and traced walls come from this very
+        # invocation, so the comparison needs no recorded baseline and no
+        # matching host profile.  The 5ms floor keeps sub-jitter runs from
+        # flaking a purely relative 3% bound.
+        plain_ms = float(row.get("gp_plain_ms", 0.0))
+        traced_ms = float(row.get("gp_traced_ms", 0.0))
+        if (
+            plain_ms
+            and traced_ms
+            and traced_ms > plain_ms * (1.0 + max_tracing_overhead) + 5.0
+        ):
+            failures.append(
+                f"{name}: traced GP run {traced_ms:.3f}ms vs untraced "
+                f"{plain_ms:.3f}ms (> {max_tracing_overhead:.0%} tracing "
+                "overhead)"
+            )
         baseline = baseline_rows.get(name)
         if baseline is None or "sta_full_ms" not in baseline:
             continue
@@ -419,7 +478,8 @@ def check_against_baseline(
         f"check OK: single-corner STA within {tolerance:.0%} of baseline, "
         f"4-corner MCMM under {max_mcmm_ratio:.2f}x, congestion map under "
         f"{max_congestion_ms:.0f}ms, weighted-GP overhead under "
-        f"{max_gp_overhead:.0%}"
+        f"{max_gp_overhead:.0%}, tracing overhead under "
+        f"{max_tracing_overhead:.0%}"
     )
     return 0
 
@@ -467,6 +527,13 @@ def main(argv=None) -> int:
         default=0.15,
         help="maximum allowed congestion-weighted GP wall overhead at the "
         "default cadence (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--max-tracing-overhead",
+        type=float,
+        default=0.03,
+        help="maximum allowed traced-vs-untraced GP wall overhead "
+        "(default 0.03 = 3%%; paired same-run measurement)",
     )
     parser.add_argument(
         "--fresh-out",
@@ -526,6 +593,7 @@ def main(argv=None) -> int:
             max_mcmm_ratio=args.max_mcmm_ratio,
             max_congestion_ms=args.max_congestion_ms,
             max_gp_overhead=args.max_gp_overhead,
+            max_tracing_overhead=args.max_tracing_overhead,
         )
     else:
         status = 0
@@ -581,7 +649,7 @@ def main(argv=None) -> int:
     header = (
         f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "
         f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6} "
-        f"{'rudy map':>9} {'gp+cong':>8}"
+        f"{'rudy map':>9} {'gp+cong':>8} {'trace':>7}"
     )
     print(header)
     for row in rows:
@@ -593,7 +661,7 @@ def main(argv=None) -> int:
             f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
             f"{row['sta_incremental_1pct_ms']:>8.2f}m {mcmm_text:>19}m "
             f"{row['mcmm_4c_over_1c']:>5.2f}x {row['congestion_map_ms']:>8.2f}m "
-            f"{row['gp_weighting_overhead']:>7.1%}"
+            f"{row['gp_weighting_overhead']:>7.1%} {row['gp_tracing_overhead']:>6.1%}"
         )
     if not args.check:
         print(f"wrote {out}")

@@ -14,6 +14,12 @@ Gated rows are the wall-clock numbers the perf gates care about:
   placement without / with in-loop congestion weighting;
 * ``snapshot_rebuild_ms`` — worker-side CompiledDesign rebuild.
 
+On top of the baseline diff, every fresh row carrying both ``gp_plain_ms``
+and ``gp_traced_ms`` is checked *pairwise*: the traced run may not exceed
+the untraced run by more than the tracing budget (3% plus a 5ms jitter
+floor).  Both walls come from the same bench invocation, so this gate is
+enforced even when the baseline was recorded on a different host.
+
 Absolute wall-clock numbers do not transfer across hosts, so when the
 baseline was recorded on a different machine/interpreter the comparison is
 reported but not enforced (same policy as ``bench_core.py --check``).
@@ -62,6 +68,10 @@ XL_INFO_FIELDS = (
 )
 # Below this, best-of-N timings are scheduler noise and a relative gate flakes.
 ABS_FLOOR_MS = 0.5
+# Tracing budget on the paired same-run gp_plain_ms/gp_traced_ms walls
+# (mirrors bench_core.py --max-tracing-overhead and its jitter floor).
+TRACING_OVERHEAD_LIMIT = 0.03
+TRACING_FLOOR_MS = 5.0
 
 
 def load_rows(path: Path) -> dict:
@@ -107,6 +117,24 @@ def diff(baseline: dict, fresh: dict, *, tolerance: float, enforce: bool) -> int
             )
 
     for design, fresh_row in fresh["rows"].items():
+        # Paired same-run tracing gate: both walls are from the fresh bench
+        # invocation, so it holds regardless of the baseline's host profile.
+        plain_ms = float(fresh_row.get("gp_plain_ms", 0.0))
+        traced_ms = float(fresh_row.get("gp_traced_ms", 0.0))
+        if plain_ms and traced_ms:
+            overhead = traced_ms / plain_ms - 1.0
+            limit = plain_ms * (1.0 + TRACING_OVERHEAD_LIMIT) + TRACING_FLOOR_MS
+            flag = " TRACING REGRESSION" if traced_ms > limit else ""
+            print(
+                f"{design:<12} {'gp_traced_ms (paired)':<26} {plain_ms:>9.3f}m "
+                f"{traced_ms:>9.3f}m {overhead:>+7.1%}{flag}"
+            )
+            if traced_ms > limit:
+                failures.append(
+                    f"{design}.gp_traced_ms: {traced_ms:.3f}ms vs paired "
+                    f"untraced {plain_ms:.3f}ms "
+                    f"(> {TRACING_OVERHEAD_LIMIT:.0%} tracing budget)"
+                )
         base_row = baseline["rows"].get(design)
         if base_row is None:
             print(f"{design:<12} (no baseline row; skipped)")

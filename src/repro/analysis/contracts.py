@@ -162,6 +162,35 @@ WORKER_MODULE_FORBIDDEN_IMPORTS: Dict[str, Tuple[str, ...]] = {
     "parallel/kernels.py": ("repro.parallel.engine",),
 }
 
+# ----------------------------------------------------------------------
+# raw-timing: blessed wall-clock call sites.
+#
+# Every other module must route timing through :mod:`repro.obs` —
+# ``clock()`` for durations, ``span()`` for traced sections — so the
+# unified tracer is the single source of where-did-the-time-go truth.
+# ``obs/`` owns the clock; ``utils/profiling.py`` keeps its raw Timer as
+# the documented no-tracer fallback path.
+# ----------------------------------------------------------------------
+TIMING_ALLOWED_PATHS: Tuple[str, ...] = ("obs/", "utils/profiling.py")
+
+# ``time.<name>()`` calls (and their ``from time import`` forms) that count
+# as raw wall-clock reads.  ``time.sleep`` is deliberately absent: sleeping
+# is not measurement.
+RAW_TIMING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+
 
 def repro_subpath(posix_path: str) -> str:
     """The path suffix after the last ``repro/`` path component (or "")."""

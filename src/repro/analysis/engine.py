@@ -197,8 +197,8 @@ def build_parser(prog: str = "repro-lint-contracts") -> argparse.ArgumentParser:
         prog=prog,
         description=(
             "Contract linter: kernel bit-exactness, arena allocation "
-            "discipline, shared-memory lifecycle, reference parity, and "
-            "import layering."
+            "discipline, shared-memory lifecycle, reference parity, "
+            "import layering, and raw-timing discipline."
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The five contract-lint rules.
+"""The six contract-lint rules.
 
 Each rule is a callable ``rule(ctx) -> list[Finding]`` over one parsed
 module (:class:`~repro.analysis.engine.ModuleContext`); repo-specific
@@ -526,6 +526,63 @@ def check_layering(ctx: "ModuleContext") -> List[Finding]:
                             "workers never load the pool engine",
                         )
                     )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule 6: raw-timing
+# ----------------------------------------------------------------------
+@register_rule(
+    "raw-timing",
+    "raw wall-clock reads (time.perf_counter / time.time / ...) are banned "
+    "outside repro.obs and repro.utils.profiling; use repro.obs.clock() "
+    "or span() so the unified tracer sees the measurement",
+)
+def check_raw_timing(ctx: "ModuleContext") -> List[Finding]:
+    sub = ctx.repro_path
+    if any(sub.startswith(allowed) for allowed in contracts.TIMING_ALLOWED_PATHS):
+        return []
+    # Resolve how this module names the stdlib time module (plain import,
+    # aliased import, and from-imports of the banned calls themselves).
+    time_aliases: Set[str] = set()
+    from_time_names: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in contracts.RAW_TIMING_CALLS:
+                        from_time_names[alias.asname or alias.name] = alias.name
+    if not time_aliases and not from_time_names:
+        return []
+
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if (
+            len(chain) == 2
+            and chain[0] in time_aliases
+            and chain[1] in contracts.RAW_TIMING_CALLS
+        ):
+            source = f"time.{chain[1]}"
+        elif len(chain) == 1 and chain[0] in from_time_names:
+            source = f"time.{from_time_names[chain[0]]}"
+        else:
+            continue
+        findings.append(
+            ctx.finding(
+                "raw-timing",
+                node,
+                f"{source}() is a raw wall-clock read; route timing through "
+                "repro.obs (clock() for durations, span() for traced "
+                "sections) so the tracer stays the single timing source",
+            )
+        )
     return findings
 
 

@@ -87,7 +87,11 @@ class DreamPlaceBaseline:
         self.constraints = (
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
-        self.profiler = RuntimeProfiler()
+        # The flow owns the (span-backed) profiler; this attribute is bound
+        # to it after run() so the Fig. 4 breakdown harness keeps reading
+        # ``baseline.profiler`` while the accounting itself lives in the
+        # unified tracing layer (repro.obs) like every other flow.
+        self.profiler: Optional[RuntimeProfiler] = None
         # The explicit parameter wins when given: 0 disables recording even
         # if the config enables it; None (also the not-passed value) defers
         # to the config field.
@@ -112,6 +116,6 @@ class DreamPlaceBaseline:
             self.design,
             constraints=self.constraints,
             seed=self.config.seed,
-            profiler=self.profiler,
         )
+        self.profiler = result.context.profiler
         return baseline_result_from_flow(result)

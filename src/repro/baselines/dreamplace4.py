@@ -82,7 +82,9 @@ class DreamPlace4Baseline:
         self.constraints = (
             constraints if constraints is not None else TimingConstraints.from_design(design)
         )
-        self.profiler = RuntimeProfiler()
+        # Bound to the flow-owned (span-backed) profiler after run(); see
+        # DreamPlaceBaseline for the rationale.
+        self.profiler: Optional[RuntimeProfiler] = None
 
     def run(self) -> BaselineResult:
         runner = FlowRunner(
@@ -92,6 +94,6 @@ class DreamPlace4Baseline:
             self.design,
             constraints=self.constraints,
             seed=self.config.seed,
-            profiler=self.profiler,
         )
+        self.profiler = result.context.profiler
         return baseline_result_from_flow(result)

@@ -55,6 +55,10 @@ class EvaluationReport:
     # which feedbacks fired, and their WNS / peak-overflow / weight-norm
     # metrics.  None for plain evaluations.
     feedback_trajectory: Optional[List[Dict[str, Any]]] = field(default=None)
+    # Aggregate tracing metrics (repro.obs Tracer.metrics() snapshot taken
+    # by the evaluation stage): per-span seconds/counts plus counters and
+    # gauges.  None when the run was not traced.
+    trace_metrics: Optional[Dict[str, Any]] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -76,6 +80,8 @@ class EvaluationReport:
             out["congestion_weighted"] = self.congestion_weighted
         if self.feedback_trajectory is not None:
             out["feedback_trajectory"] = self.feedback_trajectory
+        if self.trace_metrics is not None:
+            out["trace_metrics"] = self.trace_metrics
         return out
 
 

@@ -26,7 +26,6 @@ rather than a second dispatch path.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
@@ -34,6 +33,7 @@ import numpy as np
 
 from repro.feedback.base import FeedbackCadence, FeedbackUpdate, PlacementFeedback
 from repro.feedback.composer import WeightComposer
+from repro.obs import clock, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.placement.global_placer import GlobalPlacer
@@ -169,9 +169,10 @@ class FeedbackScheduler:
                     self._last_proposals.pop(slot.feedback.name, None)
                 continue
             feedback = slot.feedback
-            start = time.perf_counter()
-            update = feedback.update(placer, iteration, x, y)
-            elapsed = time.perf_counter() - start
+            start = clock()
+            with span(f"feedback.{feedback.name}", i=iteration):
+                update = feedback.update(placer, iteration, x, y)
+            elapsed = clock() - start
             self.seconds[feedback.name] = self.seconds.get(feedback.name, 0.0) + elapsed
             self.calls[feedback.name] = self.calls.get(feedback.name, 0) + 1
             if update is None:

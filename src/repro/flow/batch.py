@@ -27,7 +27,6 @@ from __future__ import annotations
 import contextlib
 import json
 import os
-import time
 import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -39,6 +38,14 @@ from repro.netlist.compiled import (
     SharedDesignHandle,
     SharedDesignPack,
     compile_design,
+)
+from repro.obs import (
+    active_tracer,
+    adopt_spans,
+    clock,
+    serialize_trace,
+    start_tracing,
+    stop_tracing,
 )
 from repro.utils.logging import get_logger
 
@@ -79,6 +86,11 @@ class BatchItemResult:
     runtime_seconds: float
     summary: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    # Serialized span payload shipped back from a process-executor worker
+    # (see repro.obs.remote); consumed and cleared by run_batch when it
+    # re-parents the spans under its own dispatch span.  Never part of
+    # as_dict() — traces are exported separately from the JSON report.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -200,17 +212,43 @@ def _materialize_design(job: BatchJob, payload):
     raise TypeError(f"Unsupported batch payload type {type(payload).__name__}")
 
 
-def run_job(job: BatchJob, payload=None) -> BatchItemResult:
+def run_job(job: BatchJob, payload=None, trace_parent=None) -> BatchItemResult:
     """Execute one batch job in the current process/thread.
 
     ``payload`` optionally carries the design as a :class:`CompiledDesign`
     snapshot or a :class:`SharedDesignHandle`; without it the benchmark is
     regenerated from its spec.
+
+    ``trace_parent`` is the dispatching ``batch.run`` span id when the batch
+    is being traced.  Thread-executor workers share the parent's tracer and
+    record a ``batch.job`` span directly under it; process-executor workers
+    (no tracer of their own) record into a fresh local tracer and ship the
+    serialized spans back on ``BatchItemResult.trace`` for re-parenting.
     """
     from repro.flow.presets import build_flow
 
     label = job.resolved_label()
-    start = time.perf_counter()
+    tracer = active_tracer()
+    if tracer is not None and tracer.pid != os.getpid():
+        # Fork-started process worker: the inherited tracer global belongs
+        # to the parent and can never ship back — replace it with a local
+        # tracer (trace_parent set) or drop it (tracing disabled mid-fork).
+        stop_tracing()
+        tracer = None
+    child_tracer = None
+    if tracer is None and trace_parent is not None:
+        child_tracer = tracer = start_tracing()
+    handle = None
+    if tracer is not None:
+        handle = tracer.begin(
+            "batch.job",
+            parent=trace_parent if child_tracer is None else None,
+            label=label,
+            design=job.design,
+            preset=job.preset,
+            seed=job.seed,
+        )
+    start = clock()
     try:
         _check_job_seed(job)
         design = _materialize_design(job, payload)
@@ -219,26 +257,32 @@ def run_job(job: BatchJob, payload=None) -> BatchItemResult:
         runner = build_flow(job.preset, **overrides)
         result = runner.run(design, seed=job.seed)
         summary = result.summary()
-        return BatchItemResult(
+        item = BatchItemResult(
             label=label,
             design=job.design,
             preset=job.preset,
             seed=job.seed,
             scale=job.scale,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=clock() - start,
             summary=summary,
         )
     except Exception:  # noqa: BLE001 - contained per-job failure
         logger.exception("batch job %s failed", label)
-        return BatchItemResult(
+        item = BatchItemResult(
             label=label,
             design=job.design,
             preset=job.preset,
             seed=job.seed,
             scale=job.scale,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=clock() - start,
             error=traceback.format_exc(limit=8),
         )
+    if tracer is not None:
+        tracer.end(handle)
+    if child_tracer is not None:
+        stop_tracing()
+        item.trace = serialize_trace(child_tracer)
+    return item
 
 
 def _check_job_seed(job: BatchJob) -> None:
@@ -322,17 +366,46 @@ def run_batch(
         # (os.process_cpu_count where available) instead of raw cpu_count.
         max_workers = min(len(jobs), resolve_worker_count())
     max_workers = max(1, int(max_workers))
-    start = time.perf_counter()
-    # ExitStack guarantees close()+unlink() of every shared-memory pack on
-    # any exit path: normal completion, a failing payload build, or a worker
-    # exception that escapes the pool (no /dev/shm segment may leak).
-    with contextlib.ExitStack() as cleanup:
-        payloads = _build_payloads(jobs, ship, cleanup)
-        with _make_executor(executor, max_workers) as pool:
-            items = list(pool.map(run_job, jobs, payloads))
+    start = clock()
+    tracer = active_tracer()
+    batch_handle = None
+    if tracer is not None:
+        batch_handle = tracer.begin(
+            "batch.run",
+            jobs=len(jobs),
+            executor=executor,
+            ship=ship,
+            workers=max_workers,
+        )
+    parents = [None if batch_handle is None else batch_handle.span_id] * len(jobs)
+    try:
+        # ExitStack guarantees close()+unlink() of every shared-memory pack
+        # on any exit path: normal completion, a failing payload build, or a
+        # worker exception that escapes the pool (no /dev/shm segment may
+        # leak).
+        with contextlib.ExitStack() as cleanup:
+            payloads = _build_payloads(jobs, ship, cleanup)
+            with _make_executor(executor, max_workers) as pool:
+                items = list(pool.map(run_job, jobs, payloads, parents))
+    finally:
+        if tracer is not None:
+            tracer.end(batch_handle)
+    if tracer is not None:
+        # Process-executor workers shipped their spans back on the items;
+        # replay them under the batch.run span, one lane per job.
+        for index, item in enumerate(items):
+            if item.trace:
+                adopt_spans(
+                    tracer,
+                    item.trace,
+                    parent_id=batch_handle.span_id,
+                    base=batch_handle.start,
+                    track=f"batch-job-{index}",
+                )
+                item.trace = None
     return BatchReport(
         items=items,
-        total_runtime_seconds=time.perf_counter() - start,
+        total_runtime_seconds=clock() - start,
         max_workers=max_workers,
         executor=executor,
         ship=ship,

@@ -15,7 +15,10 @@ Five subcommands over the flow pipeline:
   config field of a preset;
 * ``repro congestion DESIGN`` — run a preset and report the RUDY / pin
   density congestion of the resulting placement (peak/average overflow,
-  ACE scores, top hotspot bins).
+  ACE scores, top hotspot bins);
+* ``repro trace DESIGN -o trace.json`` — run a preset with tracing enabled
+  and export a Chrome trace-event / Perfetto JSON timeline (``run`` and
+  ``batch`` accept the same via ``--trace [PATH]``).
 
 Config fields are overridden with repeated ``--set key=value`` flags (values
 are parsed as int/float/bool when they look like one).  Every subcommand
@@ -44,6 +47,7 @@ from typing import Any, Dict, Optional, Sequence
 from repro.benchgen.suite import available_design_names, benchmark_names
 from repro.flow.batch import SHIP_MODES, BatchJob, run_batch
 from repro.flow.presets import preset_names
+from repro.obs import start_tracing, stop_tracing, write_chrome_trace
 
 
 def _parse_value(text: str) -> Any:
@@ -107,6 +111,35 @@ def _emit_json(payload: Any, path: Optional[str]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
     print(f"wrote {path}")
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="record a hierarchical span trace of the run and export it as "
+        "Chrome trace-event / Perfetto JSON (default path: next to the "
+        "--json report, or DESIGN_PRESET.trace.json); placement results "
+        "are bitwise identical with tracing on or off",
+    )
+
+
+def _trace_destination(args: argparse.Namespace, default_stem: str) -> Optional[str]:
+    """Resolve ``--trace [PATH]`` to a file path (None = tracing off)."""
+    spec = getattr(args, "trace", None)
+    if spec is None:
+        return None
+    if spec != "auto":
+        return spec
+    if args.json_path and args.json_path != "-":
+        base = args.json_path
+        if base.endswith(".json"):
+            base = base[: -len(".json")]
+        return base + ".trace.json"
+    return f"{default_stem}.trace.json"
 
 
 def _add_common(parser: argparse.ArgumentParser, *, preset: bool = True) -> None:
@@ -180,6 +213,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(RUDY overflow under each net's bbox boosts its wirelength "
         "weight during global placement)",
     )
+    _add_trace_flag(run_p)
     _add_common(run_p)
 
     batch_p = sub.add_parser("batch", help="run many designs concurrently")
@@ -206,7 +240,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "ship a compiled array snapshot, or share snapshot arrays via "
         "shared memory",
     )
+    _add_trace_flag(batch_p)
     _add_common(batch_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a preset with tracing enabled and export a Perfetto/Chrome "
+        "trace of the whole flow (stages, GP iterations, kernel dispatches)",
+    )
+    trace_p.add_argument("design", help="benchmark name")
+    trace_p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trace JSON destination (default: DESIGN_PRESET.trace.json)",
+    )
+    trace_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="also write the per-stage runtime breakdown JSON",
+    )
+    _add_common(trace_p)
 
     cmp_p = sub.add_parser("compare", help="run every preset on one benchmark")
     cmp_p.add_argument("design", help="benchmark name")
@@ -316,11 +371,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(f"repro run: {exc}") from exc
-    result = runner.run(design, seed=int(overrides["seed"]))
+    trace_path = _trace_destination(args, f"{args.design}_{args.preset}")
+    tracer = start_tracing() if trace_path else None
+    try:
+        result = runner.run(design, seed=int(overrides["seed"]))
+    finally:
+        if tracer is not None:
+            stop_tracing()
     summary = result.summary()
     width = max(len(key) for key in summary)
     for key, value in summary.items():
         print(f"{key:<{width}}  {value}")
+    if tracer is not None:
+        write_chrome_trace(trace_path, tracer)
+        print(f"wrote {trace_path}")
     _emit_json(summary, args.json_path)
     if args.profile:
         profile_path = _profile_path(args)
@@ -381,6 +445,11 @@ def _profile_payload(
         payload["gradient_terms"] = {
             name: round(seconds, 6) for name, seconds in gradient.items()
         }
+    trace_metrics = result.context.metadata.get("trace_metrics")
+    if trace_metrics:
+        # Aggregate span metrics (per-span seconds/counts, counters,
+        # gauges) from the unified tracing layer when the run was traced.
+        payload["trace"] = trace_metrics
     return payload
 
 
@@ -401,10 +470,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for design in designs
         for replicate in range(max(1, args.seeds))
     ]
-    report = run_batch(
-        jobs, max_workers=args.jobs, executor=args.executor, ship=args.ship
-    )
+    trace_path = _trace_destination(args, f"batch_{args.preset}")
+    tracer = start_tracing() if trace_path else None
+    try:
+        report = run_batch(
+            jobs, max_workers=args.jobs, executor=args.executor, ship=args.ship
+        )
+    finally:
+        if tracer is not None:
+            stop_tracing()
     print(report.format_table())
+    if tracer is not None:
+        write_chrome_trace(trace_path, tracer)
+        print(f"wrote {trace_path}")
     _emit_json(report.as_dict(), args.json_path)
     return 0 if report.num_failed == 0 else 1
 
@@ -596,9 +674,16 @@ def _cmd_lint_contracts(args: argparse.Namespace) -> int:
     return 1 if report.unsuppressed else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` = ``repro run --trace [-o PATH]``."""
+    args.trace = args.output if args.output else "auto"
+    return _cmd_run(args)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "batch": _cmd_batch,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "congestion": _cmd_congestion,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -11,6 +10,7 @@ import numpy as np
 from repro.flow.context import FlowContext
 from repro.flow.stage import FlowStage
 from repro.netlist.design import Design
+from repro.obs import active_tracer, clock, span
 from repro.timing.constraints import TimingConstraints
 from repro.utils.logging import get_logger
 from repro.utils.profiling import RuntimeProfiler
@@ -178,15 +178,26 @@ class FlowRunner:
             kernel_workers=self.kernel_workers,
         )
         stage_seconds: Dict[str, float] = {}
-        start = time.perf_counter()
-        for stage in self.stages:
-            stage_start = time.perf_counter()
-            logger.debug("flow %s: running stage %s", self.name, stage.name)
-            stage.run(ctx)
-            stage_seconds[stage.name] = (
-                stage_seconds.get(stage.name, 0.0) + time.perf_counter() - stage_start
-            )
-        runtime = time.perf_counter() - start
+        start = clock()
+        with span("flow.run", flow=self.name, design=design.name, seed=seed):
+            for stage in self.stages:
+                stage_start = clock()
+                logger.debug("flow %s: running stage %s", self.name, stage.name)
+                with span(f"stage.{stage.name}"):
+                    stage.run(ctx)
+                stage_seconds[stage.name] = (
+                    stage_seconds.get(stage.name, 0.0) + clock() - stage_start
+                )
+        runtime = clock() - start
+        tracer = active_tracer()
+        if tracer is not None:
+            # Snapshot the aggregate span metrics now that the flow.run and
+            # stage spans have closed; the flat where-did-the-time-go view
+            # travels with the scores (EvaluationReport / --profile).
+            snapshot = tracer.metrics()
+            ctx.metadata["trace_metrics"] = snapshot
+            if ctx.evaluation is not None:
+                ctx.evaluation.trace_metrics = snapshot
         return FlowResult(
             context=ctx,
             runtime_seconds=runtime,

@@ -1,0 +1,55 @@
+"""Validate an exported trace file: ``python -m repro.obs trace.json``.
+
+Exit status 0 when the file passes :func:`validate_chrome_trace`, 1
+otherwise.  CI's trace-smoke step runs this against the ``repro run
+--trace`` artifact so a malformed export fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .export import validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate a Chrome trace-event / Perfetto JSON trace file.",
+    )
+    parser.add_argument("trace", help="path to the exported trace JSON")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"trace: cannot read {path}: {exc}")
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"trace: {path} is not valid JSON: {exc}")
+        return 1
+
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"trace: {path}: {problem}")
+        return 1
+
+    events = payload.get("traceEvents", [])
+    complete = [event for event in events if event.get("ph") == "X"]
+    names = sorted({event["name"] for event in complete})
+    metrics = payload.get("otherData", {})
+    print(f"trace OK: {path}")
+    print(f"  events: {len(complete)} spans ({len(events)} total entries)")
+    print(f"  dropped: {metrics.get('dropped', 0)}")
+    preview = ", ".join(names[:12]) + (", ..." if len(names) > 12 else "")
+    print(f"  span names: {preview}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

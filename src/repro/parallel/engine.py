@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import ChildSpanCollector, active_tracer, adopt_spans, span
 from repro.parallel import kernels as _kernels
 
 __all__ = [
@@ -207,7 +208,8 @@ class SerialShardRunner:
         merged: Dict[str, np.ndarray] = {}
         for block in blocks:
             merged.update(block.views)
-        return [_kernels.run_kernel(kernel, merged, args) for args in tasks]
+        with span("kernel.dispatch", kernel=kernel, tasks=len(tasks), serial=True):
+            return [_kernels.run_kernel(kernel, merged, args) for args in tasks]
 
     def close(self) -> None:
         pass
@@ -219,6 +221,14 @@ class SerialShardRunner:
 def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
     """Worker loop: attach/detach shared blocks, run named kernels."""
     from multiprocessing import shared_memory
+
+    from repro.obs import stop_tracing
+
+    # A fork-started worker inherits the parent's active tracer global;
+    # drop it so worker-side spans flow only through the explicit
+    # ChildSpanCollector protocol (recorded locally, shipped with the
+    # result, re-parented under the dispatch span by the parent).
+    stop_tracing()
 
     def _close_quietly(shm) -> None:
         # Stray view references (loop locals, traceback frames) may pin the
@@ -263,15 +273,25 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
                         _close_quietly(shm)
                     conn.send(("ok", None))
                 elif op == "run":
-                    _, kernel, block_ids, chunk = msg
+                    _, kernel, block_ids, chunk, want_trace = msg
                     merged: Dict[str, np.ndarray] = {}
                     for bid in block_ids:
                         merged.update(blocks[bid][1])
-                    out = [
-                        (index, _kernels.run_kernel(kernel, merged, args))
-                        for index, args in chunk
-                    ]
-                    conn.send(("ok", out))
+                    if want_trace:
+                        collector = ChildSpanCollector()
+                        out = []
+                        for index, args in chunk:
+                            with collector.span(f"kernel.{kernel}", task=index):
+                                out.append(
+                                    (index, _kernels.run_kernel(kernel, merged, args))
+                                )
+                        conn.send(("ok", (out, collector.payload())))
+                    else:
+                        out = [
+                            (index, _kernels.run_kernel(kernel, merged, args))
+                            for index, args in chunk
+                        ]
+                        conn.send(("ok", (out, None)))
                     merged = None  # type: ignore[assignment]
                     out = None  # type: ignore[assignment]
                 elif op == "exit":
@@ -420,19 +440,42 @@ class KernelPool:
         for index, args in enumerate(tasks):
             chunks[index % len(self._conns)].append((index, args))
         active = [
-            (conn, chunk) for conn, chunk in zip(self._conns, chunks) if chunk
+            (wid, conn, chunk)
+            for wid, (conn, chunk) in enumerate(zip(self._conns, chunks))
+            if chunk
         ]
+        tracer = active_tracer()
+        handle = None
+        if tracer is not None:
+            handle = tracer.begin(
+                "kernel.dispatch",
+                kernel=kernel,
+                tasks=len(tasks),
+                workers=len(self._conns),
+            )
         try:
-            for conn, chunk in active:
-                conn.send(("run", kernel, block_ids, chunk))
-        except (OSError, EOFError, BrokenPipeError):
-            self._fail("a kernel worker died while dispatching")
-        results: List[object] = [None] * len(tasks)
-        for conn, _chunk in active:
-            payload = self._expect_ok(conn)
-            for index, value in payload:
-                results[index] = value
-        return results
+            try:
+                for _wid, conn, chunk in active:
+                    conn.send(("run", kernel, block_ids, chunk, handle is not None))
+            except (OSError, EOFError, BrokenPipeError):
+                self._fail("a kernel worker died while dispatching")
+            results: List[object] = [None] * len(tasks)
+            for wid, conn, _chunk in active:
+                out, shipped = self._expect_ok(conn)
+                if shipped is not None and tracer is not None:
+                    adopt_spans(
+                        tracer,
+                        shipped,
+                        parent_id=handle.span_id,
+                        base=handle.start,
+                        track=f"pool-worker-{wid}",
+                    )
+                for index, value in out:
+                    results[index] = value
+            return results
+        finally:
+            if tracer is not None:
+                tracer.end(handle)
 
     def close(self) -> None:
         """Terminate workers and unlink every shared segment. Idempotent."""

@@ -22,7 +22,6 @@ over an every-iteration feedback slot.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,6 +30,7 @@ import numpy as np
 from repro.feedback.base import FeedbackCadence, PlacementFeedback
 from repro.feedback.scheduler import CallbackFeedback, FeedbackScheduler, FeedbackSlot
 from repro.netlist.design import Design
+from repro.obs import active_tracer, clock, span
 from repro.placement.arena import IterationArena
 from repro.placement.density import ElectrostaticDensity
 from repro.placement.initial import clamp_to_die, initial_placement
@@ -237,17 +237,20 @@ class GlobalPlacer:
         optimizer copies what it keeps.  The staged in-place combine is
         bitwise identical to the allocating sum it replaced (IEEE ``+`` and
         ``*`` are commutative bit for bit).  Per-term walls accumulate into
-        ``gradient_seconds`` with plain ``perf_counter`` deltas — the
-        profiler's "gradient" section keeps the aggregate.
+        ``gradient_seconds`` with plain ``clock()`` deltas — the profiler's
+        "gradient" section keeps the aggregate, and with tracing active the
+        same deltas are re-emitted as ``gp.*`` spans (one clock read feeds
+        both views, so the legacy dict and the trace agree exactly).
         """
         seconds = self.gradient_seconds
+        tracer = active_tracer()
         with self.profiler.section("gradient"):
-            t0 = time.perf_counter()
+            t0 = clock()
             wl = self.wirelength.evaluate(x, y, net_weights=self.net_weights)
-            t1 = time.perf_counter()
+            t1 = clock()
             seconds["wirelength"] += t1 - t0
             dens = self.density.evaluate(x, y)
-            t2 = time.perf_counter()
+            t2 = clock()
             seconds["density"] += t2 - t1
             if self._density_weight_pending:
                 # Folded first-iteration bootstrap: derive the initial
@@ -265,7 +268,7 @@ class GlobalPlacer:
                 out_x=arena.array("extra_gx", num_instances),
                 out_y=arena.array("extra_gy", num_instances),
             )
-            t3 = time.perf_counter()
+            t3 = clock()
             seconds["extra"] += t3 - t2
             grad_x = arena.array("grad_x", num_instances)
             grad_y = arena.array("grad_y", num_instances)
@@ -283,7 +286,13 @@ class GlobalPlacer:
             grad_y /= precond
             grad_x[self._fixed_mask] = 0.0
             grad_y[self._fixed_mask] = 0.0
-            seconds["scatter"] += time.perf_counter() - t3
+            t4 = clock()
+            seconds["scatter"] += t4 - t3
+            if tracer is not None:
+                tracer.record_complete("gp.wirelength", t0, t1 - t0)
+                tracer.record_complete("gp.density", t1, t2 - t1)
+                tracer.record_complete("gp.extra", t2, t3 - t2)
+                tracer.record_complete("gp.scatter", t3, t4 - t3)
         self._last_density_result = dens
         return grad_x, grad_y
 
@@ -345,39 +354,46 @@ class GlobalPlacer:
         converged = False
         iteration = 0
         for iteration in range(1, config.max_iterations + 1):
-            x, y = optimizer.step_once(self._gradient)
-            # In-place clamp: the returned arrays are the optimizer's major
-            # solution, freshly allocated this iteration, so clipping them
-            # directly keeps optimizer state and loop state in sync without
-            # a copy (values identical to the copying clamp).
-            clamp_to_die(design, x, y, copy=False)
+            with span("gp.iteration", i=iteration):
+                x, y = optimizer.step_once(self._gradient)
+                # In-place clamp: the returned arrays are the optimizer's
+                # major solution, freshly allocated this iteration, so
+                # clipping them directly keeps optimizer state and loop state
+                # in sync without a copy (values identical to the copying
+                # clamp).
+                clamp_to_die(design, x, y, copy=False)
 
-            dens = self._last_density_result
-            overflow = dens.overflow
-            self._update_gamma(overflow)
-            # Grow the density multiplier only while the spreading target has
-            # not been met.  Once the target is reached the multiplier is
-            # frozen so flows that keep iterating (timing optimization) can
-            # refine wirelength/timing without the density term eventually
-            # dominating; if timing forces re-cluster cells and overflow rises
-            # above the target again, growth resumes automatically.
-            if overflow > config.stop_overflow:
-                self.density_weight = min(
-                    self.density_weight * config.density_weight_growth,
-                    config.density_weight_max,
-                )
+                dens = self._last_density_result
+                overflow = dens.overflow
+                self._update_gamma(overflow)
+                # Grow the density multiplier only while the spreading target
+                # has not been met.  Once the target is reached the multiplier
+                # is frozen so flows that keep iterating (timing optimization)
+                # can refine wirelength/timing without the density term
+                # eventually dominating; if timing forces re-cluster cells and
+                # overflow rises above the target again, growth resumes
+                # automatically.
+                if overflow > config.stop_overflow:
+                    self.density_weight = min(
+                        self.density_weight * config.density_weight_growth,
+                        config.density_weight_max,
+                    )
 
-            with self.profiler.section("others"):
-                if iteration % config.history_every == 0:
-                    pin_x, pin_y = self.arena.gather_pins(core, x, y)
-                    hpwl = core.total_hpwl(x, y, pin_x=pin_x, pin_y=pin_y)
-                    self.history.iterations.append(iteration)
-                    self.history.hpwl.append(hpwl)
-                    self.history.overflow.append(overflow)
-                    self.history.density_weight.append(self.density_weight)
-                    self.history.objective.append(hpwl)
+                with self.profiler.section("others"):
+                    if iteration % config.history_every == 0:
+                        pin_x, pin_y = self.arena.gather_pins(core, x, y)
+                        hpwl = core.total_hpwl(x, y, pin_x=pin_x, pin_y=pin_y)
+                        self.history.iterations.append(iteration)
+                        self.history.hpwl.append(hpwl)
+                        self.history.overflow.append(overflow)
+                        self.history.density_weight.append(self.density_weight)
+                        self.history.objective.append(hpwl)
+                        tracer = active_tracer()
+                        if tracer is not None:
+                            tracer.gauge("gp.overflow", overflow)
+                            tracer.gauge("gp.hpwl", hpwl)
 
-            self.feedback.dispatch(self, iteration, x, y)
+                self.feedback.dispatch(self, iteration, x, y)
 
             if config.verbose and iteration % config.log_every == 0:
                 logger.info(

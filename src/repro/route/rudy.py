@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.netlist.core import DesignCore, as_core
+from repro.obs import span
 
 __all__ = [
     "CongestionConfig",
@@ -510,7 +511,13 @@ class CongestionEstimator:
             x, y = core.x, core.y
         runner = self._get_runner()
         if runner is not None:
-            return self._estimate_parallel(runner, x, y)
+            with span("congestion.estimate", parallel=True):
+                return self._estimate_parallel(runner, x, y)
+        with span("congestion.estimate"):
+            return self._estimate_serial(x, y)
+
+    def _estimate_serial(self, x: np.ndarray, y: np.ndarray) -> CongestionResult:
+        core = self.core
         die = core.die
         shape = (self.num_bins_x, self.num_bins_y)
 

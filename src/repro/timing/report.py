@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs import clock
 from repro.timing.graph import ArcKind, TimingGraph
 from repro.timing.sta import STAEngine, STAResult
 
@@ -190,12 +190,12 @@ def report_timing_endpoint(
             result = engine.update_timing()
         else:
             result = engine.last_result
-    start = time.perf_counter()
+    start = clock()
     endpoints = _worst_endpoints(result, n, failing_only=failing_only)
     paths: List[TimingPath] = []
     for endpoint in endpoints:
         paths.extend(_worst_paths_to_endpoint(engine, result, int(endpoint), k))
-    elapsed = time.perf_counter() - start
+    elapsed = clock() - start
     stats = _build_stats(
         engine.graph,
         paths,
@@ -229,7 +229,7 @@ def report_timing(
             result = engine.update_timing()
         else:
             result = engine.last_result
-    start = time.perf_counter()
+    start = clock()
     endpoints = _worst_endpoints(result, n, failing_only=failing_only)
     per_endpoint = n if max_paths_per_endpoint is None else min(n, max_paths_per_endpoint)
     all_paths: List[TimingPath] = []
@@ -238,7 +238,7 @@ def report_timing(
     analyzed = len(all_paths)
     all_paths.sort(key=lambda p: p.slack)
     selected = all_paths[: min(n, len(all_paths))]
-    elapsed = time.perf_counter() - start
+    elapsed = clock() - start
     stats = _build_stats(
         engine.graph,
         selected,

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.netlist.design import Design
+from repro.obs import span
 from repro.timing.constraints import Corner, TimingConstraints
 from repro.timing.delay_model import CellDelayModel, WireRCModel
 from repro.timing.graph import ArcKind, TimingGraph, csr_gather as _csr_gather
@@ -391,12 +392,13 @@ class STAEngine:
         y = np.asarray(y, dtype=np.float64)
 
         use_incremental = self.incremental if incremental is None else incremental
-        if use_incremental and self._can_update_incrementally():
-            result = self._update_incremental(x, y)
-            if result is not None:
-                self.last_result = result
-                return result
-        return self._update_full(x, y)
+        with span("sta.update_timing", incremental=bool(use_incremental)):
+            if use_incremental and self._can_update_incrementally():
+                result = self._update_incremental(x, y)
+                if result is not None:
+                    self.last_result = result
+                    return result
+            return self._update_full(x, y)
 
     def _can_update_incrementally(self) -> bool:
         return (

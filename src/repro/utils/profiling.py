@@ -5,6 +5,14 @@ runtime splits between IO, gradient computation, timing analysis, weighting,
 legalization, and "others".  The placers in this library record component
 times into a :class:`RuntimeProfiler` so the benchmark harness can regenerate
 that breakdown without any external tooling.
+
+Since the unified tracing subsystem (:mod:`repro.obs`) landed, the profiler
+is a *view* over span data: when a tracer is active, each
+:meth:`RuntimeProfiler.section` additionally records a ``profile.<name>``
+span, and the component total is fed from the span's measured duration so
+the legacy breakdown and the trace agree bitwise on the same clock reads.
+This module (with ``repro.obs``) is one of the two blessed raw-timing call
+sites enforced by the ``raw-timing`` contract rule.
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+from repro.obs import active_tracer
 
 
 @dataclass
@@ -66,13 +76,26 @@ class RuntimeProfiler:
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
-        """Context manager timing one component section."""
-        timer = self._timers.setdefault(name, Timer(name))
-        timer.start()
-        try:
-            yield
-        finally:
-            timer.stop()
+        """Context manager timing one component section.
+
+        With tracing active the section is recorded as a ``profile.<name>``
+        span and the component total is the span's duration, so the legacy
+        breakdown stays a view over the trace rather than a second clock.
+        """
+        tracer = active_tracer()
+        if tracer is None:
+            timer = self._timers.setdefault(name, Timer(name))
+            timer.start()
+            try:
+                yield
+            finally:
+                timer.stop()
+        else:
+            handle = tracer.begin(f"profile.{name}")
+            try:
+                yield
+            finally:
+                self.add(name, tracer.end(handle))
 
     def add(self, name: str, seconds: float) -> None:
         """Manually add ``seconds`` to component ``name``."""

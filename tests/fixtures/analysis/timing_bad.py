@@ -1,0 +1,14 @@
+"""raw-timing fixture: every banned spelling of a wall-clock read."""
+
+import time
+import time as clockmod
+from time import monotonic as mono
+from time import perf_counter
+
+def measure():
+    t0 = time.perf_counter()
+    t1 = time.time()
+    t2 = clockmod.process_time()
+    t3 = perf_counter()
+    t4 = mono()
+    return t0 + t1 + t2 + t3 + t4

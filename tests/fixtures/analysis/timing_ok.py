@@ -1,0 +1,22 @@
+"""raw-timing fixture: the sanctioned spellings pass untouched."""
+
+import time
+
+def clock():
+    return 0.0
+
+def span(name):
+    return name
+
+def measure():
+    start = clock()
+    with span("stage.work"):
+        time.sleep(0)  # sleeping is not measurement
+    return clock() - start
+
+def reference_to_the_function_is_fine():
+    return time.perf_counter  # attribute read, not a call
+
+def waived():
+    # contract: allow(raw-timing) reason=calibrating the clock itself
+    return time.perf_counter()

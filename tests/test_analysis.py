@@ -36,7 +36,10 @@ def rules_hit(report):
 # ----------------------------------------------------------------------
 class TestKernelPurity:
     def test_flags_every_impurity(self):
-        report = lint("kernel_bad.py")
+        # The fixture's time.monotonic() call also trips raw-timing (by
+        # design — worker wall-clock reads break both contracts); scope to
+        # the rule under test.
+        report = lint("kernel_bad.py", rules=["kernel-purity"])
         assert rules_hit(report) == ["kernel-purity"]
         messages = " | ".join(f.message for f in report.findings)
         assert "np.add.at" in messages
@@ -170,6 +173,39 @@ class TestLayering:
 
 
 # ----------------------------------------------------------------------
+# Rule 6: raw-timing
+# ----------------------------------------------------------------------
+class TestRawTiming:
+    def test_flags_every_spelling(self):
+        report = lint("timing_bad.py")
+        assert rules_hit(report) == ["raw-timing"]
+        messages = " | ".join(f.message for f in report.findings)
+        assert "time.perf_counter" in messages
+        assert "time.time" in messages
+        assert "time.process_time" in messages
+        assert "time.monotonic" in messages
+        assert len(report.findings) == 5
+
+    def test_obs_clock_sleep_and_waiver_pass(self):
+        report = lint("timing_ok.py")
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "raw-timing"
+        assert report.suppressed[0].reason == "calibrating the clock itself"
+
+    def test_blessed_repro_paths_are_exempt(self, tmp_path):
+        body = "import time\n\ndef t():\n    return time.perf_counter()\n"
+        blessed_obs = tmp_path / "repro" / "obs" / "tracer.py"
+        blessed_prof = tmp_path / "repro" / "utils" / "profiling.py"
+        banned = tmp_path / "repro" / "flow" / "runner.py"
+        for path in (blessed_obs, blessed_prof, banned):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(body, encoding="utf-8")
+        report = run_lint([str(tmp_path)], rules=["raw-timing"])
+        assert [f.file for f in report.findings] == [str(banned)]
+
+
+# ----------------------------------------------------------------------
 # Engine plumbing
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -184,6 +220,7 @@ class TestEngine:
             "alloc",
             "kernel-purity",
             "layering",
+            "raw-timing",
             "ref-parity",
             "shm-unlink",
         )

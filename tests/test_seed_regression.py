@@ -24,6 +24,7 @@ import pytest
 
 from repro.benchgen import load_benchmark
 from repro.flow.presets import build_flow
+from repro.obs import start_tracing, stop_tracing
 
 _FAST = dict(
     max_iterations=60,
@@ -120,3 +121,35 @@ class TestPresetRegression:
         )
         # Congestion metrics must stay absent unless explicitly requested.
         assert ev.congestion_peak_overflow is None
+
+
+class TestPresetRegressionTraced:
+    """The same goldens with the tracing subsystem active.
+
+    Tracing performs no array arithmetic, so enabling it must leave every
+    preset's metrics and position checksums untouched (the observability
+    PR's bit-exactness contract).
+    """
+
+    @pytest.mark.parametrize("preset", sorted(_PRESET_GOLDEN))
+    def test_preset_golden_unchanged_under_tracing(self, preset):
+        overrides = dict(_FAST) if preset != "dreamplace" else {"max_iterations": 60}
+        design = load_benchmark("sb_mini_18", scale=0.4)
+        stop_tracing()
+        tracer = start_tracing()
+        try:
+            result = build_flow(preset, **overrides).run(design, seed=0)
+        finally:
+            stop_tracing()
+        golden = _PRESET_GOLDEN[preset]
+        ev = result.evaluation
+        assert ev.hpwl == pytest.approx(golden["hpwl"], rel=1e-9)
+        assert ev.tns == pytest.approx(golden["tns"], rel=1e-9)
+        assert ev.wns == pytest.approx(golden["wns"], rel=1e-9)
+        assert float(np.sum(result.x)) == pytest.approx(golden["x_sum"], rel=1e-9)
+        assert float(np.sum(result.y)) == pytest.approx(golden["y_sum"], rel=1e-9)
+        assert float(np.dot(result.x, np.arange(result.x.size))) == pytest.approx(
+            golden["x_dot"], rel=1e-9
+        )
+        # The run actually traced: the GP loop produced iteration spans.
+        assert "gp.iteration" in tracer.metrics()["spans"]
