@@ -23,7 +23,15 @@ Measures, for a few sb_mini designs:
   tracer (``repro.obs``) active — final positions are asserted bitwise
   identical in-bench, and the traced/plain wall ratio is gated at <= 3%
   (``--max-tracing-overhead``); both numbers come from the same run, so
-  the gate holds on any host.
+  the gate holds on any host;
+* back-end walls: Abacus legalization (array-backed path versus the
+  object-based ``_reference_legalize`` twin, bitwise-asserted in-bench)
+  and delta-HPWL detailed placement versus the full-recompute
+  ``_reference_refine`` twin, both run from the same seed-0 initial
+  placement.  The XL tier additionally shards the legalizer's row-band
+  candidate search across the kernel pool (2/4 workers, bitwise vs
+  serial) and hard-asserts the sb_xl_1 full-scale speedups (legalization
+  >= 5x, detailed placement >= 20x per candidate).
 
 Writes ``benchmarks/results/BENCH_core.json`` (override with ``--out``) so
 successive PRs can track the numbers.
@@ -81,6 +89,17 @@ MCMM_CORNER_COUNTS = (1, 2, 4)
 # iterations) with the routability-gp preset's default weighting cadence.
 GP_ITERATIONS = 150
 GP_CADENCE = dict(start=100, interval=10)
+# Candidate budget for the XL detailed-placement pair: the full-recompute
+# reference costs a whole-design hpwl_per_net per candidate, so an uncapped
+# reference run at 100k cells would take minutes.  Both paths see the
+# identical cap, so the recorded speedup is the honest per-candidate ratio
+# (the delta path's uncapped wall is recorded separately).
+DETAILED_XL_CANDIDATES = 2000
+# Hard floors for the sb_xl_1 full-scale back-end speedups (the PR-10
+# acceptance gates): array-backed legalization vs the object-based
+# reference, and per-candidate delta-HPWL refine vs full recompute.
+LEGALIZE_XL_MIN_SPEEDUP = 5.0
+DETAILED_XL_MIN_SPEEDUP = 20.0
 
 
 def _time(fn, repeat: int = 3):
@@ -92,6 +111,100 @@ def _time(fn, repeat: int = 3):
         value = fn()
         best = min(best, time.perf_counter() - start)
     return best, value
+
+
+def _bench_backend(
+    name: str,
+    design,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    *,
+    worker_counts=(),
+    max_candidates=None,
+    legalize_repeat: int = 1,
+    detailed_repeat: int = 1,
+) -> dict:
+    """Legalization + detailed-placement rows (shared by both tiers).
+
+    Every variant is bitwise-compared in-bench: the array-backed legalizer
+    against its object-based reference twin, each sharded worker count
+    against the serial row bands, and the delta-HPWL refine against the
+    full-recompute reference.  The reference sides run once — they are the
+    slow paths being retired, and best-of-N would only shrink the fast side.
+    """
+    from repro.placement.detailed import DetailedPlacer
+    from repro.placement.legalization.abacus import AbacusLegalizer
+
+    fields: dict = {}
+    legalizer = AbacusLegalizer(design)
+    legalize_seconds, legal = _time(
+        lambda: legalizer.legalize(cx, cy), repeat=legalize_repeat
+    )
+    reference_seconds, reference = _time(
+        lambda: legalizer._reference_legalize(cx, cy), repeat=1
+    )
+    if not (
+        np.array_equal(legal.x, reference.x)
+        and np.array_equal(legal.y, reference.y)
+        and legal.num_failed == reference.num_failed
+        and legal.num_overfull_rows == reference.num_overfull_rows
+    ):
+        raise AssertionError(
+            f"{name}: array-backed legalization differs from reference"
+        )
+    fields["legalize_ms"] = round(legalize_seconds * 1e3, 3)
+    fields["legalize_reference_ms"] = round(reference_seconds * 1e3, 3)
+    fields["legalize_speedup"] = round(
+        reference_seconds / max(legalize_seconds, 1e-9), 3
+    )
+    for workers in worker_counts:
+        sharded = AbacusLegalizer(design, workers=workers)
+        seconds, result = _time(
+            lambda: sharded.legalize(cx, cy), repeat=legalize_repeat
+        )
+        if not (
+            np.array_equal(result.x, legal.x)
+            and np.array_equal(result.y, legal.y)
+        ):
+            raise AssertionError(
+                f"{name}: {workers}-worker legalization differs from serial"
+            )
+        fields[f"legalize_w{workers}_ms"] = round(seconds * 1e3, 3)
+
+    placer = DetailedPlacer(design)
+    detailed_seconds, (dx, dy, accepted) = _time(
+        lambda: placer.refine(legal.x, legal.y, max_candidates=max_candidates),
+        repeat=detailed_repeat,
+    )
+    reference_seconds, (rx, ry, reference_accepted) = _time(
+        lambda: placer._reference_refine(
+            legal.x, legal.y, max_candidates=max_candidates
+        ),
+        repeat=1,
+    )
+    if not (
+        np.array_equal(dx, rx)
+        and np.array_equal(dy, ry)
+        and accepted == reference_accepted
+    ):
+        raise AssertionError(f"{name}: delta-HPWL refine differs from reference")
+    fields["detailed_ms"] = round(detailed_seconds * 1e3, 3)
+    fields["detailed_reference_ms"] = round(reference_seconds * 1e3, 3)
+    fields["detailed_speedup"] = round(
+        reference_seconds / max(detailed_seconds, 1e-9), 3
+    )
+    fields["detailed_accepted_swaps"] = int(accepted)
+    if max_candidates is not None:
+        # The capped pair above is the honest per-candidate comparison; the
+        # uncapped delta wall shows what a real full refinement pass costs
+        # (the reference could not afford one at XL sizes at all).
+        fields["detailed_candidates"] = int(max_candidates)
+        seconds, (_fx, _fy, full_accepted) = _time(
+            lambda: placer.refine(legal.x, legal.y), repeat=1
+        )
+        fields["detailed_full_ms"] = round(seconds * 1e3, 3)
+        fields["detailed_full_accepted_swaps"] = int(full_accepted)
+    return fields
 
 
 def bench_design(name: str) -> dict:
@@ -197,6 +310,11 @@ def bench_design(name: str) -> dict:
     gp_updates = int(weighted_placer.feedback.calls.get("congestion", 0))
     gp_update_seconds = weighted_placer.feedback.seconds.get("congestion", 0.0)
 
+    # Back-end walls from the same seed-0 initial placement (uncapped
+    # detailed refinement: mini designs can afford the full-recompute
+    # reference end to end).
+    backend = _bench_backend(name, design, cx, cy, legalize_repeat=3, detailed_repeat=3)
+
     return {
         "design": name,
         "num_instances": design.num_instances,
@@ -240,6 +358,7 @@ def bench_design(name: str) -> dict:
         "gp_tracing_overhead": round(
             gp_traced_seconds / max(gp_plain_seconds, 1e-9) - 1.0, 4
         ),
+        **backend,
     }
 
 
@@ -368,6 +487,33 @@ def bench_xl_design(name: str, *, scale: float = 1.0) -> dict:
             raise AssertionError(f"{name}: {workers}-worker GP differs from serial")
         row[f"gp_iter_w{workers}_ms"] = round(seconds / GP_XL_ITERS * 1e3, 3)
         row[f"gp_iter_speedup_w{workers}"] = round(plan_seconds / seconds, 3)
+
+    # Back-end walls: array-backed Abacus vs the object-based reference,
+    # sharded row-band candidates vs serial, and the capped delta-HPWL
+    # refine pair (see DETAILED_XL_CANDIDATES).  sb_xl_1 at full scale is
+    # the PR-10 acceptance gate and hard-asserts its speedup floors.
+    row.update(
+        _bench_backend(
+            name,
+            design,
+            cx,
+            cy,
+            worker_counts=XL_WORKER_COUNTS,
+            max_candidates=DETAILED_XL_CANDIDATES,
+        )
+    )
+    if name == "sb_xl_1" and scale >= 1.0:
+        if row["legalize_speedup"] < LEGALIZE_XL_MIN_SPEEDUP:
+            raise AssertionError(
+                f"{name}: legalization speedup {row['legalize_speedup']:.2f}x "
+                f"below the {LEGALIZE_XL_MIN_SPEEDUP:.0f}x floor"
+            )
+        if row["detailed_speedup"] < DETAILED_XL_MIN_SPEEDUP:
+            raise AssertionError(
+                f"{name}: detailed-placement speedup "
+                f"{row['detailed_speedup']:.2f}x below the "
+                f"{DETAILED_XL_MIN_SPEEDUP:.0f}x floor"
+            )
 
     shutdown_kernel_pools()
     return row
@@ -619,7 +765,7 @@ def main(argv=None) -> int:
         xl_header = (
             f"{'xl design':<12} {'cells':>8} {'build':>8} {'rudy s/2/4':>22} "
             f"{'sta s/2/4':>22} {'splat s/2/4':>22} {'gp it p/l/2/4':>24} "
-            f"{'gp x':>6}"
+            f"{'gp x':>6} {'lg a/r/2/4':>22} {'lg x':>6} {'dp d/r':>14} {'dp x':>6}"
         )
         print(xl_header)
         for row in xl_rows:
@@ -639,17 +785,30 @@ def main(argv=None) -> int:
                 f"{row[key]:.0f}"
                 for key in ("gp_iter_ms", "gp_iter_legacy_ms", "gp_iter_w2_ms", "gp_iter_w4_ms")
             )
+            legalize = "/".join(
+                f"{row[key]:.0f}"
+                for key in (
+                    "legalize_ms",
+                    "legalize_reference_ms",
+                    "legalize_w2_ms",
+                    "legalize_w4_ms",
+                )
+            )
+            detailed = f"{row['detailed_ms']:.0f}/{row['detailed_reference_ms']:.0f}"
             print(
                 f"{row['design']:<12} {row['num_instances']:>8} "
                 f"{row['build_ms']:>7.0f}m {rudy:>21}m {sta:>21}m {splat:>21}m "
-                f"{gp:>23}m {row['gp_plan_speedup']:>5.2f}x"
+                f"{gp:>23}m {row['gp_plan_speedup']:>5.2f}x {legalize:>21}m "
+                f"{row['legalize_speedup']:>5.2f}x {detailed:>13}m "
+                f"{row['detailed_speedup']:>5.1f}x"
             )
         print()
 
     header = (
         f"{'design':<12} {'build':>8} {'compile':>8} {'pickle':>8} {'rebuild':>8} "
         f"{'ratio':>6} {'sta full':>9} {'sta incr':>9} {'mcmm 1/2/4c':>20} {'4c/1c':>6} "
-        f"{'rudy map':>9} {'gp+cong':>8} {'trace':>7}"
+        f"{'rudy map':>9} {'gp+cong':>8} {'trace':>7} {'lg ms':>7} {'lg x':>6} "
+        f"{'dp ms':>7} {'dp x':>6}"
     )
     print(header)
     for row in rows:
@@ -661,7 +820,9 @@ def main(argv=None) -> int:
             f"{row['pickle_size_ratio']:>5.1f}x {row['sta_full_ms']:>8.2f}m "
             f"{row['sta_incremental_1pct_ms']:>8.2f}m {mcmm_text:>19}m "
             f"{row['mcmm_4c_over_1c']:>5.2f}x {row['congestion_map_ms']:>8.2f}m "
-            f"{row['gp_weighting_overhead']:>7.1%} {row['gp_tracing_overhead']:>6.1%}"
+            f"{row['gp_weighting_overhead']:>7.1%} {row['gp_tracing_overhead']:>6.1%} "
+            f"{row['legalize_ms']:>6.2f}m {row['legalize_speedup']:>5.1f}x "
+            f"{row['detailed_ms']:>6.1f}m {row['detailed_speedup']:>5.1f}x"
         )
     if not args.check:
         print(f"wrote {out}")

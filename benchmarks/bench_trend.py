@@ -12,7 +12,10 @@ Gated rows are the wall-clock numbers the perf gates care about:
 * ``congestion_map_ms`` — RUDY map build (routability inner loop);
 * ``gp_plain_ms`` / ``gp_congestion_weighted_ms`` — fixed-length global
   placement without / with in-loop congestion weighting;
-* ``snapshot_rebuild_ms`` — worker-side CompiledDesign rebuild.
+* ``snapshot_rebuild_ms`` — worker-side CompiledDesign rebuild;
+* ``legalize_ms`` / ``detailed_ms`` — back-end walls: array-backed Abacus
+  legalization and the delta-HPWL detailed-placement pass (capped at the
+  XL tier; see ``bench_core.DETAILED_XL_CANDIDATES``).
 
 On top of the baseline diff, every fresh row carrying both ``gp_plain_ms``
 and ``gp_traced_ms`` is checked *pairwise*: the traced run may not exceed
@@ -50,6 +53,8 @@ GATED_FIELDS = (
     "gp_plain_ms",
     "gp_congestion_weighted_ms",
     "snapshot_rebuild_ms",
+    "legalize_ms",
+    "detailed_ms",
 )
 # XL tier (payload key "xl_designs"): only the *serial* hot-path walls are
 # gated.  The kernel-pool speedup fields (congestion_map_speedup_w4, ...)
@@ -58,6 +63,8 @@ XL_GATED_FIELDS = (
     "congestion_map_ms",
     "sta_full_ms",
     "gp_iter_ms",
+    "legalize_ms",
+    "detailed_ms",
 )
 XL_INFO_FIELDS = (
     "congestion_map_speedup_w4",
@@ -65,6 +72,8 @@ XL_INFO_FIELDS = (
     "density_splat_speedup_w4",
     "gp_plan_speedup",
     "gp_iter_speedup_w4",
+    "legalize_speedup",
+    "detailed_speedup",
 )
 # Below this, best-of-N timings are scheduler noise and a relative gate flakes.
 ABS_FLOOR_MS = 0.5

@@ -34,6 +34,7 @@ from repro.feedback.composer import WeightComposer, WeightComposerConfig
 from repro.feedback.timing import StrategyFeedback
 from repro.flow.context import FlowContext
 from repro.flow.stage import register_stage
+from repro.placement.detailed import DetailedPlacer
 from repro.placement.global_placer import GlobalPlacer, PlacementConfig
 from repro.placement.legalization.abacus import AbacusLegalizer
 from repro.placement.legalization.greedy import GreedyLegalizer
@@ -534,12 +535,16 @@ class LegalizeStage:
     def run(self, ctx: FlowContext) -> None:
         x, y = ctx.positions()
         with ctx.profiler.section("legalization"):
-            legal = AbacusLegalizer(ctx.design).legalize(x, y)
+            legal = AbacusLegalizer(
+                ctx.design, workers=ctx.kernel_workers
+            ).legalize(x, y)
             used_fallback = False
             if not legal.success and self.fallback:
                 logger.warning(
-                    "Abacus failed to place %d cells; falling back to greedy",
+                    "Abacus failed (%d unplaced cells, %d overfull rows); "
+                    "falling back to greedy",
                     legal.num_failed,
+                    legal.num_overfull_rows,
                 )
                 legal = GreedyLegalizer(ctx.design).legalize(x, y)
                 used_fallback = True
@@ -549,8 +554,37 @@ class LegalizeStage:
             "engine": "greedy" if used_fallback else "abacus",
             "fallback": used_fallback,
             "num_failed": int(legal.num_failed),
+            "num_overfull_rows": int(legal.num_overfull_rows),
             "total_displacement": float(legal.total_displacement),
             "max_displacement": float(legal.max_displacement),
+        }
+
+
+@register_stage("detailed_place")
+class DetailedPlaceStage:
+    """Delta-HPWL adjacent-swap refinement of a legalized placement.
+
+    Runs after :class:`LegalizeStage`; positions stay legal (swaps exchange
+    abutting cells within a row).  Not part of the shipped presets — the
+    paper's evaluation is about global placement — but available by name
+    for flows that want the extra HPWL squeeze (see ``examples/``).
+    """
+
+    name = "detailed_place"
+
+    def __init__(self, *, max_passes: int = 2) -> None:
+        self.max_passes = max_passes
+
+    def run(self, ctx: FlowContext) -> None:
+        x, y = ctx.positions()
+        with ctx.profiler.section("detailed_place"):
+            placer = DetailedPlacer(ctx.design, max_passes=self.max_passes)
+            rx, ry, accepted = placer.refine(x, y)
+            ctx.x, ctx.y = rx, ry
+            ctx.design.set_positions(rx, ry)
+        ctx.metadata["detailed_place"] = {
+            "accepted_swaps": int(accepted),
+            "max_passes": int(self.max_passes),
         }
 
 
@@ -653,7 +687,9 @@ class RoutabilityRepairStage:
         def legalize_fn(lx: np.ndarray, ly: np.ndarray):
             # Same engine/fallback policy as LegalizeStage, so the loop
             # scores exactly what the flow will later commit to.
-            legal = AbacusLegalizer(design).legalize(lx, ly)
+            legal = AbacusLegalizer(
+                design, workers=ctx.kernel_workers
+            ).legalize(lx, ly)
             if not legal.success:
                 legal = GreedyLegalizer(design).legalize(lx, ly)
             return legal.x, legal.y

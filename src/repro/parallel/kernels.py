@@ -256,6 +256,64 @@ def _wa_wirelength(a: Dict[str, np.ndarray], args: tuple) -> None:
 
 
 # ----------------------------------------------------------------------
+# Legalization row-band candidate kernel
+# ----------------------------------------------------------------------
+@register_kernel("legalize_rowband")
+def _legalize_rowband(a: Dict[str, np.ndarray], args: tuple) -> None:
+    """Nearest-row candidate bands for legalization cells ``[s, e)``.
+
+    For each cell (in the legalizer's x-sorted processing order) this emits
+    the ``k`` placement rows nearest to the cell's desired y, in increasing
+    |row_y - y| order — the row band Abacus walks when it looks for a row
+    with free capacity.  ``row_y`` is sorted ascending (rows are built
+    bottom-up), so a ``searchsorted`` seed plus a two-pointer expansion
+    replaces the all-rows ``argsort`` of the reference path.
+
+    Tie-break (documented, parity-tested): when a cell sits exactly midway
+    between two rows the *lower* row index is emitted first — the same
+    order a stable argsort of ``|row_y - y|`` produces.  Slots past the row
+    count (``k > num_rows``) are filled with ``-1``.
+
+    Every step is elementwise over the cell slice and writes the disjoint
+    ``cand_rows[s*k:e*k]`` range, so the result is independent of the shard
+    decomposition; the parent replays the (order-sensitive, sequential)
+    cluster insertion itself.
+    """
+    s, e, k = args
+    if e <= s:
+        return None
+    row_y = a["row_y"]
+    num_rows = int(row_y.size)
+    y = a["cell_y"][s:e]
+    m = int(y.size)
+    out = a["cand_rows"]
+    # searchsorted(left): row_y[hi-1] < y <= row_y[hi], so the band starts
+    # at the tightest bracketing pair (lo, hi) = (hi-1, hi).
+    hi = np.searchsorted(row_y, y, side="left").astype(np.int64)
+    lo = hi - 1
+    slots = s * k + np.arange(m, dtype=np.int64) * k
+    for j in range(k):
+        lo_valid = lo >= 0
+        hi_valid = hi < num_rows
+        # |row_y - y| without np.abs: the pointers never cross, so the
+        # bracketing differences are the nonnegative distances directly.
+        d_lo = np.where(lo_valid, y - row_y[np.where(lo_valid, lo, 0)], np.inf)
+        d_hi = np.where(
+            hi_valid, row_y[np.where(hi_valid, hi, num_rows - 1)] - y, np.inf
+        )
+        # <= : equidistant rows resolve to the lower index (stable order).
+        take_lo = d_lo <= d_hi
+        exhausted = ~lo_valid & ~hi_valid
+        choice = np.where(take_lo, lo, hi)
+        choice[exhausted] = -1
+        out[slots + j] = choice
+        advance = ~exhausted
+        lo = np.where(take_lo & advance, lo - 1, lo)
+        hi = np.where(~take_lo & advance, hi + 1, hi)
+    return None
+
+
+# ----------------------------------------------------------------------
 # Self-test kernels (pool plumbing / crash-safety tests)
 # ----------------------------------------------------------------------
 @register_kernel("_selftest_sum")
